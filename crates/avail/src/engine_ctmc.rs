@@ -1,0 +1,473 @@
+//! The reference engine: a truncated multi-class CTMC with failover
+//! transients.
+
+use aved_markov::{explore, DenseSolver, Explored, GaussSeidelSolver, SteadyStateSolver};
+use aved_units::Rate;
+
+use crate::{AvailError, AvailabilityEngine, TierAvailability, TierModel};
+
+/// State of the tier CTMC: failed-resource count per failure class, plus an
+/// optional in-progress failover (the class that triggered it).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct St {
+    pub(crate) failed: Vec<u8>,
+    pub(crate) failover: Option<u8>,
+}
+
+/// Derived per-state quantities shared by the transition rules and the
+/// reward function.
+#[derive(Debug, Clone, Copy)]
+struct View {
+    /// Resources currently delivering service.
+    working: u32,
+    /// Failure-exposed idle spares.
+    free_spares: u32,
+    /// Whether a failover-class failure would be backfilled by a spare.
+    backfill_available: bool,
+}
+
+fn view(model: &TierModel, st: &St) -> View {
+    let n_total = model.n_total();
+    let mut failed_total: u32 = 0;
+    let mut failed_failover: u32 = 0;
+    for (i, &k) in st.failed.iter().enumerate() {
+        failed_total += u32::from(k);
+        if model.classes()[i].uses_failover() {
+            failed_failover += u32::from(k);
+        }
+    }
+    let failed_restart = failed_total - failed_failover;
+    let available = n_total.saturating_sub(failed_total);
+    // Spares backfill failover-class failures (restart-class failures are
+    // repaired in place), so the number of filled active roles is bounded by
+    // the resources not held by failover-class repairs.
+    let remaining = n_total - failed_failover;
+    let roles = model.n().min(remaining);
+    let working = roles.saturating_sub(failed_restart);
+    let free_spares = available.saturating_sub(working);
+    // One more failover-class failure is backfilled iff the role count
+    // survives it.
+    let backfill_available = remaining > 0 && model.n().min(remaining - 1) == roles;
+    View {
+        working,
+        free_spares,
+        backfill_available,
+    }
+}
+
+fn is_down(model: &TierModel, st: &St) -> bool {
+    st.failover.is_some() || view(model, st).working < model.m()
+}
+
+/// Steady-state availability engine built on an exact (truncated) CTMC.
+///
+/// The chain's state is the vector of failed-resource counts per failure
+/// class plus an optional failover-in-progress marker. Failures strike
+/// working resources (and hot spares, when the model exposes them); repairs
+/// proceed per failed resource; a failover transient is entered when a
+/// failover-class failure would drop the active count below `m` and a
+/// spare can restore it. The state space is truncated at
+/// [`max_concurrent`](Self::with_max_concurrent) simultaneous failures
+/// (default 5), which bounds the chain to a few hundred states regardless
+/// of cluster size — the probability of deeper overlap is negligible when
+/// MTBF ≫ MTTR, and the `ablation_truncation` bench quantifies this.
+///
+/// # Examples
+///
+/// ```
+/// use aved_avail::{AvailabilityEngine, CtmcEngine, FailureClass, TierModel};
+/// use aved_units::Duration;
+///
+/// // One machine, MTBF 1000 h, MTTR 10 h: unavailability 10/1010.
+/// let model = TierModel::new(1, 1, 0).with_class(FailureClass::new(
+///     "hw",
+///     Duration::from_hours(1000.0).rate(),
+///     Duration::from_hours(10.0),
+///     Duration::ZERO,
+///     false,
+/// ));
+/// let result = CtmcEngine::default().evaluate(&model)?;
+/// assert!((result.unavailability() - 10.0 / 1010.0).abs() < 1e-12);
+/// # Ok::<(), aved_avail::AvailError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CtmcEngine {
+    max_concurrent: u32,
+    dense_cutover: usize,
+}
+
+impl CtmcEngine {
+    /// Creates an engine with the default truncation depth (5 concurrent
+    /// failures) and solver cutover.
+    #[must_use]
+    pub fn new() -> CtmcEngine {
+        CtmcEngine {
+            max_concurrent: 5,
+            dense_cutover: 3000,
+        }
+    }
+
+    /// Sets the maximum number of simultaneous failed resources modeled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_concurrent` is zero.
+    #[must_use]
+    pub fn with_max_concurrent(mut self, max_concurrent: u32) -> CtmcEngine {
+        assert!(max_concurrent > 0, "truncation depth must be positive");
+        self.max_concurrent = max_concurrent;
+        self
+    }
+
+    /// The truncation depth.
+    #[must_use]
+    pub fn max_concurrent(&self) -> u32 {
+        self.max_concurrent
+    }
+
+    /// Which explored states count as service-down (exposed for the
+    /// mission-time analyses).
+    pub(crate) fn down_mask(&self, model: &TierModel, explored: &Explored<St>) -> Vec<bool> {
+        explored
+            .states()
+            .iter()
+            .map(|st| is_down(model, st))
+            .collect()
+    }
+
+    /// Builds and explores the tier chain (exposed for tests and the
+    /// decomposition engine).
+    pub(crate) fn explore_chain(&self, model: &TierModel) -> Result<Explored<St>, AvailError> {
+        let cap = self.max_concurrent.min(model.n_total());
+        let n_classes = model.classes().len();
+        let initial = St {
+            failed: vec![0; n_classes],
+            failover: None,
+        };
+        let explored = explore(initial, 2_000_000, |st: &St| {
+            let mut out: Vec<(f64, St)> = Vec::new();
+            let v = view(model, st);
+            let failed_total: u32 = st.failed.iter().map(|&k| u32::from(k)).sum();
+
+            // Failures (only below the truncation cap).
+            if failed_total < cap {
+                for (i, class) in model.classes().iter().enumerate() {
+                    let lambda = class.rate().per_hour_value();
+                    // Active-resource failures.
+                    let active_rate = f64::from(v.working) * lambda;
+                    if active_rate > 0.0 {
+                        let mut next = st.clone();
+                        next.failed[i] += 1;
+                        if st.failover.is_none()
+                            && class.uses_failover()
+                            && v.backfill_available
+                            && v.working - 1 < model.m()
+                        {
+                            next.failover = Some(i as u8);
+                        }
+                        out.push((active_rate, next));
+                    }
+                    // Hot-spare failures (no transient: losing an idle spare
+                    // never interrupts service by itself).
+                    if model.spares_exposed() {
+                        let spare_rate = f64::from(v.free_spares) * lambda;
+                        if spare_rate > 0.0 {
+                            let mut next = st.clone();
+                            next.failed[i] += 1;
+                            out.push((spare_rate, next));
+                        }
+                    }
+                }
+            }
+
+            // Repairs: each failed resource repairs independently.
+            for (i, class) in model.classes().iter().enumerate() {
+                if st.failed[i] > 0 {
+                    let mu = 1.0 / class.mttr().hours();
+                    let mut next = st.clone();
+                    next.failed[i] -= 1;
+                    out.push((f64::from(st.failed[i]) * mu, next));
+                }
+            }
+
+            // Failover completion.
+            if let Some(fo) = st.failover {
+                let class = &model.classes()[fo as usize];
+                let mut next = st.clone();
+                next.failover = None;
+                out.push((1.0 / class.failover_time().hours(), next));
+            }
+            out
+        })?;
+        Ok(explored)
+    }
+}
+
+impl Default for CtmcEngine {
+    fn default() -> CtmcEngine {
+        CtmcEngine::new()
+    }
+}
+
+impl AvailabilityEngine for CtmcEngine {
+    fn evaluate(&self, model: &TierModel) -> Result<TierAvailability, AvailError> {
+        model.check()?;
+        let explored = self.explore_chain(model)?;
+        let ctmc = explored.ctmc();
+        let pi = if ctmc.n_states() <= self.dense_cutover {
+            DenseSolver::new().steady_state(ctmc)?
+        } else {
+            // Beyond the dense cutover, Gauss-Seidel handles the stiff
+            // rates (MTBFs in years, restarts in seconds) far better than
+            // power iteration, whose step is limited by the fastest rate.
+            GaussSeidelSolver::default().steady_state(ctmc)?
+        };
+
+        let down: Vec<bool> = explored
+            .states()
+            .iter()
+            .map(|st| is_down(model, st))
+            .collect();
+        let unavailability: f64 = pi
+            .iter()
+            .zip(down.iter())
+            .filter(|(_, &d)| d)
+            .map(|(&p, _)| p)
+            .sum();
+
+        // Down-event rate: probability flow from up states into down states.
+        let mut event_rate = 0.0;
+        for t in ctmc.transitions() {
+            if !down[t.from] && down[t.to] {
+                event_rate += pi[t.from] * t.rate;
+            }
+        }
+        Ok(TierAvailability::new(
+            unavailability.clamp(0.0, 1.0),
+            Rate::per_hour(event_rate),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FailureClass;
+    use aved_markov::birth_death;
+    use aved_units::Duration;
+
+    fn simple_class(mtbf_h: f64, mttr_h: f64) -> FailureClass {
+        FailureClass::new(
+            "c",
+            Duration::from_hours(mtbf_h).rate(),
+            Duration::from_hours(mttr_h),
+            Duration::ZERO,
+            false,
+        )
+    }
+
+    #[test]
+    fn single_machine_matches_closed_form() {
+        let model = TierModel::new(1, 1, 0).with_class(simple_class(1000.0, 10.0));
+        let r = CtmcEngine::default().evaluate(&model).unwrap();
+        assert!((r.unavailability() - 10.0 / 1010.0).abs() < 1e-12);
+        // Down events happen at rate lambda * P(up).
+        let expect_rate = (1.0 / 1000.0) * (1000.0 / 1010.0);
+        assert!((r.down_event_rate().per_hour_value() - expect_rate).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_of_n_matches_birth_death() {
+        // 4 actives, 2 required, no spares, one class; cap high enough to be
+        // exact (4 concurrent failures possible).
+        let (mtbf, mttr) = (500.0, 5.0);
+        let model = TierModel::new(4, 2, 0).with_class(simple_class(mtbf, mttr));
+        let r = CtmcEngine::default()
+            .with_max_concurrent(4)
+            .evaluate(&model)
+            .unwrap();
+
+        // Reference: birth-death over failed count; only working resources
+        // fail (working = 4 - k), per-resource repair.
+        let lambda = 1.0 / mtbf;
+        let mu = 1.0 / mttr;
+        let births: Vec<f64> = (0..4).map(|k| f64::from(4 - k) * lambda).collect();
+        let deaths: Vec<f64> = (0..4).map(|k| f64::from(k + 1) * mu).collect();
+        let pi = birth_death::steady_state(&births, &deaths).unwrap();
+        let expect: f64 = pi[3] + pi[4]; // down when fewer than 2 working
+        assert!(
+            (r.unavailability() - expect).abs() < 1e-12,
+            "got {}, expect {expect}",
+            r.unavailability()
+        );
+    }
+
+    #[test]
+    fn extra_active_reduces_downtime() {
+        let base = TierModel::new(2, 2, 0).with_class(simple_class(1000.0, 10.0));
+        let extra = TierModel::new(3, 2, 0).with_class(simple_class(1000.0, 10.0));
+        let e = CtmcEngine::default();
+        let d0 = e.evaluate(&base).unwrap().unavailability();
+        let d1 = e.evaluate(&extra).unwrap().unavailability();
+        assert!(
+            d1 < d0 / 10.0,
+            "redundancy should cut downtime sharply: {d0} vs {d1}"
+        );
+    }
+
+    #[test]
+    fn failover_transient_matches_hand_built_chain() {
+        // n=1, m=1, s=1, one failover class. States (by construction):
+        // (0, -), (1, FO), (1, -), (2, -) ... with cap 2.
+        let (mtbf_h, mttr_h, fo_h) = (1000.0, 38.0, 0.1);
+        let model = TierModel::new(1, 1, 1).with_class(FailureClass::new(
+            "hw/hard",
+            Duration::from_hours(mtbf_h).rate(),
+            Duration::from_hours(mttr_h),
+            Duration::from_hours(fo_h),
+            true,
+        ));
+        let r = CtmcEngine::default().evaluate(&model).unwrap();
+
+        // First-order accounting of the two downtime sources:
+        // 1. every failure triggers a failover transient of mean `fo`
+        //    (the single active dropping below m=1): rate lambda, so a
+        //    time fraction of ~ lambda * fo;
+        // 2. while one resource is in repair (time fraction ~ lambda*mttr),
+        //    a second failure has no spare left and the service stays down
+        //    until the *first* of the two independent repairs completes —
+        //    mean mttr/2.
+        let lambda = 1.0 / mtbf_h;
+        let transient = lambda * fo_h;
+        let double = (lambda * mttr_h) * (lambda * mttr_h / 2.0);
+        let approx = transient + double;
+        let rel = (r.unavailability() - approx).abs() / approx;
+        assert!(
+            rel < 0.05,
+            "unavailability {} vs first-order estimate {approx} (rel {rel})",
+            r.unavailability()
+        );
+    }
+
+    #[test]
+    fn spare_cuts_downtime_versus_no_spare() {
+        let mk = |s: u32, uses_fo: bool| {
+            TierModel::new(2, 2, s).with_class(FailureClass::new(
+                "hw/hard",
+                Duration::from_days(650.0).rate(),
+                Duration::from_hours(38.0),
+                Duration::from_mins(5.0),
+                uses_fo,
+            ))
+        };
+        let e = CtmcEngine::default();
+        let without = e.evaluate(&mk(0, false)).unwrap().annual_downtime();
+        let with = e.evaluate(&mk(1, true)).unwrap().annual_downtime();
+        // Without a spare each failure costs ~38h; with one it costs ~5min.
+        assert!(
+            with.minutes() < without.minutes() / 50.0,
+            "spare: {} vs none: {}",
+            with.minutes(),
+            without.minutes()
+        );
+    }
+
+    #[test]
+    fn truncation_converges() {
+        // Paper-like tier (m = n, spares): downtime is dominated by
+        // single-failure transients, so shallow truncation already captures
+        // it and deepening the cap must not move the estimate.
+        let model = TierModel::new(4, 4, 1)
+            .with_class(FailureClass::new(
+                "hw/hard",
+                Duration::from_days(650.0).rate(),
+                Duration::from_hours(38.0),
+                Duration::from_mins(5.0),
+                true,
+            ))
+            .with_class(simple_class(60.0 * 24.0, 0.07));
+        let eval = |cap: u32| {
+            CtmcEngine::default()
+                .with_max_concurrent(cap)
+                .evaluate(&model)
+                .unwrap()
+                .unavailability()
+        };
+        let shallow = eval(3);
+        let deep = eval(5);
+        let rel = (shallow - deep).abs() / deep;
+        assert!(rel < 1e-3, "truncation error too large: {rel}");
+    }
+
+    #[test]
+    fn truncation_plateau_once_down_states_are_covered() {
+        // Redundant tier where downtime needs 4 concurrent failures: caps
+        // below 4 see (almost) none of it, caps >= 4 agree with each other.
+        let model = TierModel::new(6, 4, 1)
+            .with_class(FailureClass::new(
+                "hw/hard",
+                Duration::from_days(650.0).rate(),
+                Duration::from_hours(38.0),
+                Duration::from_mins(5.0),
+                true,
+            ))
+            .with_class(simple_class(60.0 * 24.0, 0.07));
+        let eval = |cap: u32| {
+            CtmcEngine::default()
+                .with_max_concurrent(cap)
+                .evaluate(&model)
+                .unwrap()
+                .unavailability()
+        };
+        let at4 = eval(4);
+        let at7 = eval(7);
+        assert!(
+            eval(3) < at4 / 100.0,
+            "cap 3 should miss the 4-failure states"
+        );
+        assert!((at4 - at7).abs() / at7 < 2e-3, "cap 4 vs 7: {at4} vs {at7}");
+    }
+
+    #[test]
+    fn hot_spares_increase_failure_exposure_but_keep_service_up() {
+        let cold = TierModel::new(2, 2, 1).with_class(FailureClass::new(
+            "hw",
+            Duration::from_days(100.0).rate(),
+            Duration::from_hours(10.0),
+            Duration::from_mins(5.0),
+            true,
+        ));
+        let hot = cold.clone().with_exposed_spares(true);
+        let e = CtmcEngine::default();
+        let d_cold = e.evaluate(&cold).unwrap().unavailability();
+        let d_hot = e.evaluate(&hot).unwrap().unavailability();
+        // A hot spare can be dead exactly when needed, so exposure raises
+        // unavailability somewhat; but it must stay the same order.
+        assert!(d_hot >= d_cold);
+        assert!(d_hot < d_cold * 3.0, "hot {d_hot} vs cold {d_cold}");
+    }
+
+    #[test]
+    fn rejects_invalid_model() {
+        let bad = TierModel::new(1, 1, 0); // no classes
+        assert!(CtmcEngine::default().evaluate(&bad).is_err());
+    }
+
+    #[test]
+    fn state_space_is_independent_of_cluster_size() {
+        let mk = |n: u32| {
+            TierModel::new(n, n, 2).with_class(FailureClass::new(
+                "hw",
+                Duration::from_days(650.0).rate(),
+                Duration::from_hours(38.0),
+                Duration::from_mins(5.0),
+                true,
+            ))
+        };
+        let e = CtmcEngine::default();
+        let small = e.explore_chain(&mk(4)).unwrap().n_states();
+        let large = e.explore_chain(&mk(400)).unwrap().n_states();
+        assert_eq!(small, large);
+        assert!(large < 50, "truncated chain should stay tiny, got {large}");
+    }
+}

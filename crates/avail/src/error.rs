@@ -1,0 +1,68 @@
+//! Errors produced while building or solving availability models.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error from availability model construction or evaluation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AvailError {
+    /// The tier model parameters are inconsistent (e.g. `m > n`).
+    InvalidModel {
+        /// Explanation.
+        detail: String,
+    },
+    /// The underlying Markov solver failed.
+    Markov(aved_markov::MarkovError),
+    /// Deriving a model from the design failed.
+    Model(aved_model::ModelError),
+}
+
+impl fmt::Display for AvailError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AvailError::InvalidModel { detail } => write!(f, "invalid tier model: {detail}"),
+            AvailError::Markov(e) => write!(f, "markov solver error: {e}"),
+            AvailError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl Error for AvailError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AvailError::Markov(e) => Some(e),
+            AvailError::Model(e) => Some(e),
+            AvailError::InvalidModel { .. } => None,
+        }
+    }
+}
+
+impl From<aved_markov::MarkovError> for AvailError {
+    fn from(e: aved_markov::MarkovError) -> AvailError {
+        AvailError::Markov(e)
+    }
+}
+
+impl From<aved_model::ModelError> for AvailError {
+    fn from(e: aved_model::ModelError) -> AvailError {
+        AvailError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_chains() {
+        let e = AvailError::InvalidModel {
+            detail: "m > n".into(),
+        };
+        assert!(e.to_string().contains("m > n"));
+        let e: AvailError = aved_markov::MarkovError::Singular.into();
+        assert!(Error::source(&e).is_some());
+        let e: AvailError = aved_model::ModelError::Invalid { detail: "x".into() }.into();
+        assert!(Error::source(&e).is_some());
+    }
+}

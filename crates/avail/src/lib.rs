@@ -1,0 +1,48 @@
+//! Availability evaluation engines for the Aved design engine.
+//!
+//! The paper evaluates each candidate design by generating an availability
+//! model with, per tier: the number of active resources `n`, the minimum
+//! required `m`, the number of spares `s`, and per failure mode the MTBF,
+//! the MTTR (detection + repair + dependent-component restarts) and the
+//! failover time (detection + reconfiguration + inactive-spare startup).
+//! Failover is considered only for modes whose MTTR exceeds their failover
+//! time (§4.2). The model is then solved by an external availability
+//! engine; this crate *is* that engine, three ways:
+//!
+//! * [`CtmcEngine`] — a truncated multi-failure-class continuous-time
+//!   Markov chain with explicit failover-transient states, solved exactly
+//!   for its steady state (the reference engine);
+//! * [`DecompositionEngine`] — the "simplified Markov model": each failure
+//!   class analyzed in its own small chain assuming the others are
+//!   perfect, downtimes summed (fast, accurate when MTBF ≫ MTTR);
+//! * [`SimulationEngine`] — an independent discrete-event Monte Carlo
+//!   simulator with per-resource state, spare management and failover
+//!   timers, used to validate the analytic engines and to explore
+//!   non-exponential distributions.
+//!
+//! [`derive_tier_model`] builds the model from `aved-model` types, and
+//! [`combine_series`] composes tiers in series (the service is up iff all
+//! tiers are up).
+
+mod derive;
+mod engine;
+mod engine_ctmc;
+mod engine_decomp;
+mod engine_sim;
+mod error;
+mod export;
+mod mission;
+mod service;
+mod shared;
+mod tier_model;
+
+pub use derive::{derive_tier_model, loss_window, required_active};
+pub use engine::{AvailabilityEngine, TierAvailability};
+pub use engine_ctmc::CtmcEngine;
+pub use engine_decomp::DecompositionEngine;
+pub use engine_sim::{RepairDistribution, SimulationEngine, SimulationReport};
+pub use error::AvailError;
+pub use export::{export_parameters, export_sharpe_markov};
+pub use service::{combine_series, ServiceAvailability};
+pub use shared::SharedSubsystem;
+pub use tier_model::{FailureClass, TierModel};

@@ -1,0 +1,130 @@
+//! Series composition of tiers into a service-level availability figure.
+
+use aved_units::{Duration, Rate, MINUTES_PER_YEAR};
+use serde::{Deserialize, Serialize};
+
+use crate::TierAvailability;
+
+/// The availability of a whole service: tiers composed in series.
+///
+/// "Multiple tiers in a design are modeled as an association in series,
+/// where the whole design is considered up only when each tier is up"
+/// (paper §4.2). With independent tiers, the service availability is the
+/// product of tier availabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServiceAvailability {
+    availability: f64,
+    down_event_rate: Rate,
+}
+
+impl ServiceAvailability {
+    /// Steady-state probability the service is up.
+    #[must_use]
+    pub fn availability(&self) -> f64 {
+        self.availability
+    }
+
+    /// Steady-state probability the service is down.
+    #[must_use]
+    pub fn unavailability(&self) -> f64 {
+        1.0 - self.availability
+    }
+
+    /// Expected annual downtime.
+    #[must_use]
+    pub fn annual_downtime(&self) -> Duration {
+        Duration::from_mins(self.unavailability() * MINUTES_PER_YEAR)
+    }
+
+    /// Expected annual uptime (`T_up`).
+    #[must_use]
+    pub fn annual_uptime(&self) -> Duration {
+        Duration::from_mins(self.availability * MINUTES_PER_YEAR)
+    }
+
+    /// Approximate rate of service-down events: the sum of tier down-event
+    /// rates weighted by the availability of the other tiers (a tier outage
+    /// only starts a *service* outage if the others are currently up).
+    #[must_use]
+    pub fn down_event_rate(&self) -> Rate {
+        self.down_event_rate
+    }
+}
+
+/// Combines per-tier results in series.
+///
+/// # Examples
+///
+/// ```
+/// use aved_avail::{combine_series, TierAvailability};
+/// use aved_units::Rate;
+///
+/// let web = TierAvailability::new(0.001, Rate::per_hour(0.01));
+/// let db = TierAvailability::new(0.002, Rate::per_hour(0.005));
+/// let service = combine_series(&[web, db]);
+/// let expect = 1.0 - 0.999 * 0.998;
+/// assert!((service.unavailability() - expect).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn combine_series(tiers: &[TierAvailability]) -> ServiceAvailability {
+    let availability: f64 = tiers.iter().map(TierAvailability::availability).product();
+    let mut event_rate = 0.0;
+    for (i, tier) in tiers.iter().enumerate() {
+        let others_up: f64 = tiers
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, t)| t.availability())
+            .product();
+        event_rate += tier.down_event_rate().per_hour_value() * others_up;
+    }
+    ServiceAvailability {
+        availability,
+        down_event_rate: Rate::per_hour(event_rate),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_series_is_perfect() {
+        let s = combine_series(&[]);
+        assert_eq!(s.availability(), 1.0);
+        assert_eq!(s.annual_downtime(), Duration::ZERO);
+    }
+
+    #[test]
+    fn single_tier_passes_through() {
+        let t = TierAvailability::new(0.01, Rate::per_hour(0.5));
+        let s = combine_series(&[t]);
+        assert!((s.unavailability() - 0.01).abs() < 1e-15);
+        assert!((s.down_event_rate().per_hour_value() - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn series_downtime_is_near_additive_for_small_unavailability() {
+        let tiers = [
+            TierAvailability::new(1e-4, Rate::per_hour(0.001)),
+            TierAvailability::new(2e-4, Rate::per_hour(0.002)),
+            TierAvailability::new(3e-4, Rate::per_hour(0.003)),
+        ];
+        let s = combine_series(&tiers);
+        let additive = 6e-4;
+        assert!((s.unavailability() - additive).abs() / additive < 1e-3);
+        // Downtime in minutes per year, roughly the sum of the parts.
+        let sum_minutes: f64 = tiers.iter().map(|t| t.annual_downtime().minutes()).sum();
+        assert!((s.annual_downtime().minutes() - sum_minutes).abs() / sum_minutes < 1e-3);
+    }
+
+    #[test]
+    fn event_rate_discounts_overlap() {
+        let heavy = TierAvailability::new(0.5, Rate::per_hour(1.0));
+        let s = combine_series(&[heavy, heavy]);
+        // Each tier's outages only start service outages half the time
+        // (when the other tier is up).
+        assert!((s.down_event_rate().per_hour_value() - 1.0).abs() < 1e-12);
+        assert!((s.availability() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,228 @@
+//! Shared-subsystem availability: the paper's future-work extension.
+//!
+//! The paper's §7 plans "to extend Aved to factor LAN topologies and
+//! network failures". The dominant availability effect of the network (and
+//! of other shared infrastructure such as storage heads or load balancers)
+//! is a set of *shared elements in series with the tier*: the tier is up
+//! only if, additionally, at least `k` of the `n` redundant shared
+//! elements are up. This module models exactly that:
+//!
+//! * [`SharedSubsystem`] — `n` identical shared elements (switches,
+//!   uplinks, array controllers) with their own failure classes, of which
+//!   `k` must be up;
+//! * [`SharedSubsystem::evaluate`] — closed-form k-of-n availability via
+//!   the birth–death solution of the underlying repair chain;
+//! * composition with tier results through
+//!   [`combine_series`](crate::combine_series), since a shared subsystem
+//!   produces an ordinary [`TierAvailability`].
+
+use aved_units::{Duration, Rate};
+use serde::{Deserialize, Serialize};
+
+use crate::{AvailError, TierAvailability};
+
+/// A redundant shared subsystem: `n` identical elements, up while at least
+/// `k` are operational.
+///
+/// # Examples
+///
+/// ```
+/// use aved_avail::SharedSubsystem;
+/// use aved_units::Duration;
+///
+/// // Two redundant switches, either one suffices; MTBF 2 years, 4-hour
+/// // replacement.
+/// let network = SharedSubsystem::new("lan", 2, 1)
+///     .with_failure(Duration::from_days(730.0), Duration::from_hours(4.0));
+/// let avail = network.evaluate()?;
+/// // Duplexing pushes downtime to the double-failure regime: well under a
+/// // minute a year.
+/// assert!(avail.annual_downtime().minutes() < 1.0);
+/// # Ok::<(), aved_avail::AvailError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SharedSubsystem {
+    name: String,
+    n: u32,
+    k: u32,
+    failures: Vec<(Rate, Duration)>,
+}
+
+impl SharedSubsystem {
+    /// Creates a subsystem of `n` elements requiring `k` up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero, `k > n`, or the name is empty.
+    #[must_use]
+    pub fn new<S: Into<String>>(name: S, n: u32, k: u32) -> SharedSubsystem {
+        let name = name.into();
+        assert!(!name.is_empty(), "subsystem name must not be empty");
+        assert!(k >= 1 && k <= n, "need 1 <= k <= n, got k={k}, n={n}");
+        SharedSubsystem {
+            name,
+            n,
+            k,
+            failures: Vec::new(),
+        }
+    }
+
+    /// Adds a per-element failure mode (MTBF and full MTTR).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mtbf` or `mttr` is zero.
+    #[must_use]
+    pub fn with_failure(mut self, mtbf: Duration, mttr: Duration) -> SharedSubsystem {
+        assert!(!mtbf.is_zero(), "MTBF must be positive");
+        assert!(!mttr.is_zero(), "MTTR must be positive");
+        self.failures.push((mtbf.rate(), mttr));
+        self
+    }
+
+    /// The subsystem's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn n(&self) -> u32 {
+        self.n
+    }
+
+    /// Required up count.
+    #[must_use]
+    pub fn k(&self) -> u32 {
+        self.k
+    }
+
+    /// Evaluates steady-state availability.
+    ///
+    /// Each element is a two-state (up/down) unit with the aggregate
+    /// failure rate of its modes and the rate-weighted mean repair time;
+    /// elements are independent with per-element repair, so the k-of-n
+    /// availability follows from the binomial/birth–death closed form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AvailError::InvalidModel`] when no failure modes are
+    /// declared.
+    pub fn evaluate(&self) -> Result<TierAvailability, AvailError> {
+        if self.failures.is_empty() {
+            return Err(AvailError::InvalidModel {
+                detail: format!("shared subsystem {} has no failure modes", self.name),
+            });
+        }
+        let lambda: f64 = self.failures.iter().map(|(r, _)| r.per_hour_value()).sum();
+        // Rate-weighted mean repair time (the stationary mix of repairs).
+        let weighted_mttr: f64 = self
+            .failures
+            .iter()
+            .map(|(r, mttr)| r.per_hour_value() * mttr.hours())
+            .sum::<f64>()
+            / lambda;
+        let mu = 1.0 / weighted_mttr;
+        let availability = aved_markov::birth_death::k_of_n_availability(
+            self.n as usize,
+            self.k as usize,
+            lambda,
+            mu,
+        )?;
+        // Down events begin when the (n-k+1)-th element fails; the rate of
+        // that transition is the stationary flow across the k-boundary.
+        let pi = aved_markov::birth_death::steady_state(
+            &(0..self.n as usize)
+                .map(|j| (self.n as usize - j) as f64 * lambda)
+                .collect::<Vec<_>>(),
+            &(0..self.n as usize)
+                .map(|j| (j + 1) as f64 * mu)
+                .collect::<Vec<_>>(),
+        )?;
+        let boundary = (self.n - self.k) as usize;
+        let event_rate = pi[boundary] * (self.n as usize - boundary) as f64 * lambda;
+        Ok(TierAvailability::new(
+            (1.0 - availability).clamp(0.0, 1.0),
+            Rate::per_hour(event_rate),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combine_series;
+
+    #[test]
+    fn single_element_matches_two_state_form() {
+        let s = SharedSubsystem::new("switch", 1, 1)
+            .with_failure(Duration::from_hours(1000.0), Duration::from_hours(10.0));
+        let r = s.evaluate().unwrap();
+        assert!((r.unavailability() - 10.0 / 1010.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplexing_slashes_downtime() {
+        let single = SharedSubsystem::new("lan", 1, 1)
+            .with_failure(Duration::from_days(365.0), Duration::from_hours(8.0));
+        let duplex = SharedSubsystem::new("lan", 2, 1)
+            .with_failure(Duration::from_days(365.0), Duration::from_hours(8.0));
+        let (a, b) = (
+            single.evaluate().unwrap().annual_downtime(),
+            duplex.evaluate().unwrap().annual_downtime(),
+        );
+        assert!(
+            b.minutes() < a.minutes() / 100.0,
+            "{} vs {}",
+            a.minutes(),
+            b.minutes()
+        );
+    }
+
+    #[test]
+    fn multiple_failure_modes_aggregate() {
+        let s = SharedSubsystem::new("switch", 1, 1)
+            .with_failure(Duration::from_hours(2000.0), Duration::from_hours(24.0))
+            .with_failure(Duration::from_hours(500.0), Duration::from_mins(10.0));
+        let r = s.evaluate().unwrap();
+        // Aggregate unavailability ~ sum of per-mode lambda*mttr.
+        let expect = 24.0 / 2000.0 + (10.0 / 60.0) / 500.0;
+        assert!(
+            (r.unavailability() - expect).abs() / expect < 0.05,
+            "got {}, expect ~{expect}",
+            r.unavailability()
+        );
+    }
+
+    #[test]
+    fn series_with_a_tier_result() {
+        let network = SharedSubsystem::new("lan", 2, 1)
+            .with_failure(Duration::from_days(365.0), Duration::from_hours(8.0))
+            .evaluate()
+            .unwrap();
+        let tier = TierAvailability::new(1e-4, Rate::per_hour(0.001));
+        let service = combine_series(&[tier, network]);
+        assert!(service.unavailability() >= tier.unavailability());
+        assert!(service.unavailability() < 1.1e-4 + network.unavailability());
+    }
+
+    #[test]
+    fn needs_failure_modes() {
+        assert!(SharedSubsystem::new("x", 2, 1).evaluate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "1 <= k <= n")]
+    fn bad_k_panics() {
+        let _ = SharedSubsystem::new("x", 2, 3);
+    }
+
+    #[test]
+    fn accessors() {
+        let s = SharedSubsystem::new("san", 3, 2);
+        assert_eq!(s.name(), "san");
+        assert_eq!(s.n(), 3);
+        assert_eq!(s.k(), 2);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based cross-validation of the availability engines on
+//! randomized tier models: the exact CTMC, the decomposition engine and
+//! analytical invariants must stay consistent over the whole input space,
+//! not just hand-picked examples.
+
+use aved_avail::{AvailabilityEngine, CtmcEngine, DecompositionEngine, FailureClass, TierModel};
+use aved_units::Duration;
+use proptest::prelude::*;
+
+/// Random paper-like failure classes: MTBF of weeks to years, repairs of
+/// minutes to days, failover of minutes.
+fn arb_class(idx: usize, uses_failover: bool) -> impl Strategy<Value = FailureClass> {
+    (
+        10.0_f64..2000.0, // MTBF days
+        0.05_f64..48.0,   // MTTR hours
+        1.0_f64..30.0,    // failover minutes
+    )
+        .prop_map(move |(mtbf_d, mttr_h, fo_m)| {
+            let mttr = Duration::from_hours(mttr_h);
+            let failover = Duration::from_mins(fo_m);
+            let usable = uses_failover && mttr > failover;
+            FailureClass::new(
+                format!("class{idx}"),
+                Duration::from_days(mtbf_d).rate(),
+                mttr,
+                failover,
+                usable,
+            )
+        })
+}
+
+fn arb_model() -> impl Strategy<Value = TierModel> {
+    (
+        1_u32..8, // m
+        0_u32..4, // extra actives
+        0_u32..3, // spares
+        proptest::collection::vec(prop::bool::ANY, 1..4),
+    )
+        .prop_flat_map(|(m, extra, spares, failover_flags)| {
+            let classes: Vec<BoxedStrategy<FailureClass>> = failover_flags
+                .iter()
+                .enumerate()
+                .map(|(i, &fo)| arb_class(i, fo && spares > 0).boxed())
+                .collect();
+            (Just(m), Just(extra), Just(spares), classes)
+        })
+        .prop_map(|(m, extra, spares, classes)| {
+            let mut model = TierModel::new(m + extra, m, spares);
+            for c in classes {
+                model = model.with_class(c);
+            }
+            model
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The exact engine always yields a valid probability and rate.
+    #[test]
+    fn ctmc_results_are_well_formed(model in arb_model()) {
+        let r = CtmcEngine::default().evaluate(&model).unwrap();
+        prop_assert!((0.0..=1.0).contains(&r.unavailability()));
+        prop_assert!(r.down_event_rate().per_hour_value() >= 0.0);
+        prop_assert!(r.annual_downtime().minutes() >= 0.0);
+    }
+
+    /// The decomposition's error is second-order in the unavailability:
+    /// it double-counts overlapping down states when m = n (union bound,
+    /// overestimate) and misses cross-class overlaps under redundancy
+    /// (underestimate). Both effects scale with the square of the
+    /// per-class unavailabilities, so in the rare-failure regime the two
+    /// engines agree tightly, and in general the gap is bounded by a
+    /// quadratic term.
+    #[test]
+    fn decomposition_error_is_second_order(model in arb_model()) {
+        let exact = CtmcEngine::default().evaluate(&model).unwrap().unavailability();
+        let fast = DecompositionEngine::default().evaluate(&model).unwrap().unavailability();
+        prop_assert!((0.0..=1.0).contains(&fast));
+        let gap = (exact - fast).abs();
+        // The overlap terms the decomposition mistreats involve pairs of
+        // concurrent failures; each class contributes a single-failure
+        // probability mass of roughly n_total * lambda_i * mttr_i, so the
+        // gap is bounded by a constant times the square of their sum.
+        let q_sum: f64 = model
+            .classes()
+            .iter()
+            .map(|c| {
+                f64::from(model.n_total()) * c.rate().per_hour_value() * c.mttr().hours()
+            })
+            .sum();
+        let budget = 0.02 * exact + 4.0 * q_sum * q_sum + 1e-12;
+        prop_assert!(
+            gap <= budget,
+            "gap {gap} exceeds second-order budget {budget} (exact {exact}, fast {fast}, q_sum {q_sum})"
+        );
+    }
+
+    /// Availability is monotone in redundancy: adding an extra active
+    /// resource (m fixed) never increases unavailability.
+    #[test]
+    fn extra_actives_never_hurt(
+        m in 1_u32..5,
+        mtbf_d in 20.0_f64..500.0,
+        mttr_h in 0.1_f64..24.0,
+    ) {
+        let class = || FailureClass::new(
+            "c",
+            Duration::from_days(mtbf_d).rate(),
+            Duration::from_hours(mttr_h),
+            Duration::ZERO,
+            false,
+        );
+        let base = TierModel::new(m, m, 0).with_class(class());
+        let more = TierModel::new(m + 1, m, 0).with_class(class());
+        let e = CtmcEngine::default();
+        let a = e.evaluate(&base).unwrap().unavailability();
+        let b = e.evaluate(&more).unwrap().unavailability();
+        prop_assert!(b <= a * 1.0001, "extra active hurt: {a} -> {b}");
+    }
+
+    /// Faster repairs never increase unavailability.
+    #[test]
+    fn faster_repair_never_hurts(
+        n in 1_u32..6,
+        mtbf_d in 20.0_f64..500.0,
+        mttr_h in 1.0_f64..24.0,
+    ) {
+        let mk = |mttr: f64| {
+            TierModel::new(n, n, 0).with_class(FailureClass::new(
+                "c",
+                Duration::from_days(mtbf_d).rate(),
+                Duration::from_hours(mttr),
+                Duration::ZERO,
+                false,
+            ))
+        };
+        let e = CtmcEngine::default();
+        let slow = e.evaluate(&mk(mttr_h)).unwrap().unavailability();
+        let fast = e.evaluate(&mk(mttr_h / 2.0)).unwrap().unavailability();
+        prop_assert!(fast <= slow * 1.0001);
+    }
+
+    /// A failover spare never increases unavailability for m = n tiers
+    /// with slow repairs.
+    #[test]
+    fn failover_spare_never_hurts(
+        n in 1_u32..5,
+        mtbf_d in 50.0_f64..1000.0,
+        mttr_h in 4.0_f64..48.0,
+    ) {
+        let mk = |s: u32| {
+            TierModel::new(n, n, s).with_class(FailureClass::new(
+                "hw",
+                Duration::from_days(mtbf_d).rate(),
+                Duration::from_hours(mttr_h),
+                Duration::from_mins(5.0),
+                s > 0,
+            ))
+        };
+        let e = CtmcEngine::default();
+        let without = e.evaluate(&mk(0)).unwrap().unavailability();
+        let with = e.evaluate(&mk(1)).unwrap().unavailability();
+        prop_assert!(with <= without * 1.0001, "spare hurt: {without} -> {with}");
+    }
+}

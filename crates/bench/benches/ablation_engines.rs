@@ -1,0 +1,59 @@
+//! Ablation: evaluation time of the three availability engines on the same
+//! paper-derived tier model (exact CTMC vs per-class decomposition vs
+//! Monte Carlo), quantifying the speed/fidelity tradeoff DESIGN.md calls
+//! out.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use aved::avail::{
+    derive_tier_model, AvailabilityEngine, CtmcEngine, DecompositionEngine, SimulationEngine,
+    TierModel,
+};
+use aved::model::{FailureScope, ParamValue, Sizing, TierDesign};
+use aved::scenario;
+
+fn paper_model(n: u32, s: u32) -> TierModel {
+    let infra = scenario::infrastructure().unwrap();
+    let td = TierDesign::new("application", "rC", n, s).with_setting(
+        "maintenanceA",
+        "level",
+        ParamValue::Level("bronze".into()),
+    );
+    derive_tier_model(
+        &infra,
+        &td,
+        Sizing::Dynamic,
+        FailureScope::Resource,
+        n.min(5),
+    )
+    .unwrap()
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let small = paper_model(5, 1);
+    let large = paper_model(50, 2);
+
+    let mut group = c.benchmark_group("engines");
+    group.sample_size(10);
+
+    for (label, model) in [("n5_s1", &small), ("n50_s2", &large)] {
+        group.bench_function(format!("ctmc_{label}"), |b| {
+            let engine = CtmcEngine::default();
+            b.iter(|| black_box(engine.evaluate(black_box(model)).unwrap().unavailability()));
+        });
+        group.bench_function(format!("decomposition_{label}"), |b| {
+            let engine = DecompositionEngine::default();
+            b.iter(|| black_box(engine.evaluate(black_box(model)).unwrap().unavailability()));
+        });
+        group.bench_function(format!("simulation_200y_{label}"), |b| {
+            let engine = SimulationEngine::new(7).with_years(200.0);
+            b.iter(|| black_box(engine.evaluate(black_box(model)).unwrap().unavailability()));
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

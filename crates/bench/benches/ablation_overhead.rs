@@ -1,0 +1,68 @@
+//! Ablation: the checkpoint-overhead form (`1 + c/cpi` vs the literal
+//! `max(c/cpi, 100%)` of Table 1) — the modeling decision DESIGN.md logs
+//! as item 3. The bench prints, once, the optimal checkpoint interval each
+//! form produces across failure environments, showing why the smooth form
+//! is required to reproduce Fig. 7's rising-interval trend; it then times
+//! the interval optimization under both forms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use aved::jobtime::optimal_checkpoint_interval;
+use aved::perf::{CheckpointOverhead, OverheadForm, StorageLocation};
+use aved::units::Duration;
+
+fn candidates() -> Vec<Duration> {
+    let mut out = Vec::new();
+    let mut v = Duration::from_mins(1.0);
+    while v <= Duration::from_hours(24.0) {
+        out.push(v);
+        v = v * 1.05;
+    }
+    out
+}
+
+fn optimal_for(form: OverheadForm, mtbf: Duration) -> Duration {
+    let mperf = CheckpointOverhead::new(10.0, 30, 3.0, 20.0).with_form(form);
+    let base = Duration::from_hours(100.0);
+    let cands = candidates();
+    let (best, _) = optimal_checkpoint_interval(&cands, mtbf, 1.0, |cpi| {
+        base * mperf.multiplier(StorageLocation::Central, cpi, 10)
+    })
+    .expect("candidates nonempty");
+    best
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    println!("optimal checkpoint interval by overhead form (rH central, 10 nodes):");
+    println!(
+        "{:>12} {:>16} {:>16}",
+        "MTBF", "smooth (min)", "piecewise (min)"
+    );
+    for mtbf_h in [2.0, 24.0, 168.0, 1000.0] {
+        let mtbf = Duration::from_hours(mtbf_h);
+        println!(
+            "{:>12} {:>16.1} {:>16.1}",
+            format!("{mtbf_h} h"),
+            optimal_for(OverheadForm::Smooth, mtbf).minutes(),
+            optimal_for(OverheadForm::PiecewiseMax, mtbf).minutes(),
+        );
+    }
+    println!("(smooth tracks sqrt(2*c*MTBF); piecewise pins to the cost knee)");
+
+    let mut group = c.benchmark_group("overhead_form");
+    group.sample_size(10);
+    for (label, form) in [
+        ("smooth", OverheadForm::Smooth),
+        ("piecewise", OverheadForm::PiecewiseMax),
+    ] {
+        group.bench_function(format!("optimize_interval_{label}"), |b| {
+            let mtbf = Duration::from_hours(24.0);
+            b.iter(|| black_box(optimal_for(black_box(form), mtbf)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

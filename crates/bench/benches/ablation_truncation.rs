@@ -1,0 +1,47 @@
+//! Ablation: CTMC truncation depth — state-space size, solve time, and the
+//! downtime estimate as the cap on concurrent failures grows. DESIGN.md's
+//! claim that estimates converge by depth ~5 is measured here (the bench
+//! also prints the estimates once at startup).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use aved::avail::{derive_tier_model, AvailabilityEngine, CtmcEngine, TierModel};
+use aved::model::{FailureScope, ParamValue, Sizing, TierDesign};
+use aved::scenario;
+
+fn paper_model() -> TierModel {
+    let infra = scenario::infrastructure().unwrap();
+    let td = TierDesign::new("application", "rC", 6, 1).with_setting(
+        "maintenanceA",
+        "level",
+        ParamValue::Level("bronze".into()),
+    );
+    derive_tier_model(&infra, &td, Sizing::Dynamic, FailureScope::Resource, 4).unwrap()
+}
+
+fn bench_truncation(c: &mut Criterion) {
+    let model = paper_model();
+
+    // Print the convergence table once, as the ablation's data.
+    println!("truncation-depth ablation (rC tier, n=6, m=4, s=1):");
+    println!("{:>6} {:>22}", "depth", "downtime (min/yr)");
+    for depth in 2..=7 {
+        let engine = CtmcEngine::default().with_max_concurrent(depth);
+        let dt = engine.evaluate(&model).unwrap().annual_downtime().minutes();
+        println!("{depth:>6} {dt:>22.6}");
+    }
+
+    let mut group = c.benchmark_group("truncation");
+    group.sample_size(10);
+    for depth in [3_u32, 5, 7] {
+        group.bench_function(format!("depth{depth}"), |b| {
+            let engine = CtmcEngine::default().with_max_concurrent(depth);
+            b.iter(|| black_box(engine.evaluate(black_box(&model)).unwrap().unavailability()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_truncation);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Benchmark of the CTMC substrate itself: dense Gaussian elimination vs
+//! uniformized power iteration on chains of growing size, plus the
+//! birth–death closed form as the floor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use aved::markov::{
+    birth_death, CtmcBuilder, DenseSolver, GaussSeidelSolver, PowerSolver, SteadyStateSolver,
+};
+
+/// A machine-repairman chain with `n + 1` states.
+fn repair_chain(n: usize) -> aved::markov::Ctmc {
+    let lambda = 1e-3;
+    let mu = 0.5;
+    let mut b = CtmcBuilder::new(n + 1);
+    for k in 0..n {
+        b.rate(k, k + 1, (n - k) as f64 * lambda);
+        b.rate(k + 1, k, (k + 1) as f64 * mu);
+    }
+    b.build().unwrap()
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("markov_solvers");
+    group.sample_size(10);
+
+    for n in [16_usize, 64, 256] {
+        let ctmc = repair_chain(n);
+        group.bench_function(format!("dense_n{}", n + 1), |b| {
+            let solver = DenseSolver::new();
+            b.iter(|| black_box(solver.steady_state(black_box(&ctmc)).unwrap()[0]));
+        });
+        group.bench_function(format!("power_n{}", n + 1), |b| {
+            let solver = PowerSolver::new(1e-12, 10_000_000);
+            b.iter(|| black_box(solver.steady_state(black_box(&ctmc)).unwrap()[0]));
+        });
+        group.bench_function(format!("gauss_seidel_n{}", n + 1), |b| {
+            let solver = GaussSeidelSolver::default();
+            b.iter(|| black_box(solver.steady_state(black_box(&ctmc)).unwrap()[0]));
+        });
+        group.bench_function(format!("birth_death_n{}", n + 1), |b| {
+            let lambda = 1e-3;
+            let mu = 0.5;
+            let births: Vec<f64> = (0..n).map(|k| (n - k) as f64 * lambda).collect();
+            let deaths: Vec<f64> = (0..n).map(|k| (k + 1) as f64 * mu).collect();
+            b.iter(|| black_box(birth_death::steady_state(&births, &deaths).unwrap()[0]));
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

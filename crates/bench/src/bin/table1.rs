@@ -1,0 +1,58 @@
+//! Prints the paper's Table 1: the performance functions of the examples,
+//! as implemented by `aved-perf::paper`, evaluated on a sample of node
+//! counts so the closed forms are visible.
+//!
+//! Usage: `cargo run --release -p aved-bench --bin table1`
+
+use aved::perf::{paper, StorageLocation};
+use aved::units::Duration;
+
+fn main() {
+    println!("== Table 1: performance functions ==\n");
+    println!("tier, resource            function");
+    println!("application, rC/rD        performance(n) = 200*n");
+    println!("application, rE/rF        performance(n) = 1600*n");
+    println!("computation, rH           performance(n) = (10*n)/(1+0.004*n)");
+    println!("computation, rI           performance(n) = (100*n)/(1+0.004*n)");
+    println!();
+    println!(
+        "{:>6} {:>10} {:>10} {:>12} {:>12}",
+        "n", "perfC", "perfE", "perfH", "perfI"
+    );
+    for n in [1_u32, 2, 5, 10, 30, 100, 300, 1000] {
+        println!(
+            "{n:>6} {:>10.0} {:>10.0} {:>12.1} {:>12.1}",
+            paper::perf_c().throughput(n),
+            paper::perf_e().throughput(n),
+            paper::perf_h().throughput(n),
+            paper::perf_i().throughput(n),
+        );
+    }
+
+    println!("\n== Table 1: mperformance (execution-time multiplier; cpi in minutes) ==\n");
+    println!("computation, rH  central: cost 10 (n<30), n/3 (n>=30); peer: cost 20");
+    println!("computation, rI  central: cost 5 (n<30), n/6 (n>=30); peer: cost 100");
+    println!(
+        "(multiplier = 1 + cost/cpi; Table 1's max(cost/cpi, 100%) is its asymptotic envelope)\n"
+    );
+    println!(
+        "{:>6} {:>6} | {:>12} {:>12} | {:>12} {:>12}",
+        "n", "cpi", "rH central", "rH peer", "rI central", "rI peer"
+    );
+    for (n, cpi_min) in [
+        (10_u32, 2.0_f64),
+        (10, 20.0),
+        (100, 2.0),
+        (100, 20.0),
+        (100, 120.0),
+    ] {
+        let cpi = Duration::from_mins(cpi_min);
+        println!(
+            "{n:>6} {cpi_min:>6} | {:>12.2} {:>12.2} | {:>12.2} {:>12.2}",
+            paper::mperf_h().multiplier(StorageLocation::Central, cpi, n),
+            paper::mperf_h().multiplier(StorageLocation::Peer, cpi, n),
+            paper::mperf_i().multiplier(StorageLocation::Central, cpi, n),
+            paper::mperf_i().multiplier(StorageLocation::Peer, cpi, n),
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! Shared scaffolding for the figure-regeneration binaries and benches.
+//!
+//! Each binary regenerates the data behind one table or figure of the
+//! paper's evaluation section (§5): `table1`, `spec_dump` (Figs. 3–5),
+//! `fig6`, `fig7` and `fig8`. Outputs go to stdout as aligned tables and,
+//! when `--csv DIR` is passed, to CSV files for plotting.
+
+use std::fmt::Write as _;
+
+use aved::model::ParamValue;
+use aved::search::EvaluatedDesign;
+
+/// The paper's design-family coordinates for Fig. 6:
+/// `(resource, contract, n_extra, n_spare)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Family {
+    /// Selected resource type (`rC`, ...).
+    pub resource: String,
+    /// Selected maintenance-contract level.
+    pub contract: String,
+    /// Active resources beyond the performance minimum.
+    pub n_extra: u32,
+    /// Inactive spares.
+    pub n_spare: u32,
+}
+
+impl Family {
+    /// Extracts the family coordinates from an evaluated design.
+    #[must_use]
+    pub fn of(e: &EvaluatedDesign) -> Family {
+        let td = e.design();
+        let contract = td
+            .setting("maintenanceA", "level")
+            .or_else(|| td.setting("maintenanceB", "level"))
+            .map_or_else(|| "-".to_owned(), ToString::to_string);
+        Family {
+            resource: td.resource().as_str().to_owned(),
+            contract,
+            n_extra: e.n_extra(),
+            n_spare: td.n_spare(),
+        }
+    }
+
+    /// The checkpoint settings of a design, when present:
+    /// `(interval, storage)`.
+    #[must_use]
+    pub fn checkpoint_of(e: &EvaluatedDesign) -> (String, String) {
+        let td = e.design();
+        let interval = match td.setting("checkpoint", "checkpoint_interval") {
+            Some(ParamValue::Duration(d)) => format!("{:.1}m", d.minutes()),
+            _ => "-".to_owned(),
+        };
+        let storage = td
+            .setting("checkpoint", "storage_location")
+            .map_or_else(|| "-".to_owned(), ToString::to_string);
+        (interval, storage)
+    }
+}
+
+impl std::fmt::Display for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "({}, {}, {}, {})",
+            self.resource, self.contract, self.n_extra, self.n_spare
+        )
+    }
+}
+
+/// A geometric grid between `min` and `max` with `steps` points, inclusive.
+///
+/// # Panics
+///
+/// Panics if `min` or `max` are non-positive, `max < min`, or `steps < 2`.
+#[must_use]
+pub fn geometric_grid(min: f64, max: f64, steps: usize) -> Vec<f64> {
+    assert!(
+        min > 0.0 && max >= min,
+        "grid bounds must be positive and ordered"
+    );
+    assert!(steps >= 2, "need at least two grid points");
+    let ratio = (max / min).powf(1.0 / (steps - 1) as f64);
+    (0..steps).map(|i| min * ratio.powi(i as i32)).collect()
+}
+
+/// A simple CSV accumulator (we avoid a csv dependency; the outputs are
+/// plain numeric tables).
+#[derive(Debug, Default, Clone)]
+pub struct Csv {
+    rows: Vec<String>,
+}
+
+impl Csv {
+    /// Creates a CSV with a header row.
+    #[must_use]
+    pub fn with_header(columns: &[&str]) -> Csv {
+        Csv {
+            rows: vec![columns.join(",")],
+        }
+    }
+
+    /// Appends a row of cells.
+    pub fn row<I, S>(&mut self, cells: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut line = String::new();
+        for (i, c) in cells.into_iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            let _ = write!(line, "{}", c.as_ref());
+        }
+        self.rows.push(line);
+    }
+
+    /// Renders the CSV document.
+    #[must_use]
+    pub fn to_string_document(&self) -> String {
+        let mut out = self.rows.join("\n");
+        out.push('\n');
+        out
+    }
+
+    /// Number of data rows (excluding the header).
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.rows.len().saturating_sub(1)
+    }
+
+    /// Writes to `dir/name` if `dir` is `Some`, creating the directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_if(&self, dir: Option<&str>, name: &str) -> std::io::Result<()> {
+        if let Some(dir) = dir {
+            std::fs::create_dir_all(dir)?;
+            std::fs::write(format!("{dir}/{name}"), self.to_string_document())?;
+        }
+        Ok(())
+    }
+}
+
+/// Parses an optional `--csv DIR` argument from the process args.
+#[must_use]
+pub fn csv_dir_from_args() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_grid_endpoints_and_monotonicity() {
+        let g = geometric_grid(0.1, 10_000.0, 26);
+        assert_eq!(g.len(), 26);
+        assert!((g[0] - 0.1).abs() < 1e-12);
+        assert!((g[25] - 10_000.0).abs() / 10_000.0 < 1e-9);
+        for w in g.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "grid bounds")]
+    fn bad_grid_panics() {
+        let _ = geometric_grid(-1.0, 5.0, 3);
+    }
+
+    #[test]
+    fn csv_accumulates() {
+        let mut csv = Csv::with_header(&["a", "b"]);
+        csv.row(["1", "2"]);
+        csv.row(["3", "4"]);
+        assert_eq!(csv.n_rows(), 2);
+        assert_eq!(csv.to_string_document(), "a,b\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn csv_write_if_writes_only_with_dir() {
+        let mut csv = Csv::with_header(&["x"]);
+        csv.row(["1"]);
+        // None: no I/O performed, must succeed.
+        csv.write_if(None, "never.csv").unwrap();
+        let dir = std::env::temp_dir().join("aved-bench-csv-test");
+        let dir_str = dir.to_str().unwrap().to_owned();
+        csv.write_if(Some(&dir_str), "out.csv").unwrap();
+        let read = std::fs::read_to_string(dir.join("out.csv")).unwrap();
+        assert_eq!(
+            read,
+            "x
+1
+"
+        );
+    }
+
+    #[test]
+    fn family_display() {
+        let f = Family {
+            resource: "rC".into(),
+            contract: "bronze".into(),
+            n_extra: 1,
+            n_spare: 0,
+        };
+        assert_eq!(f.to_string(), "(rC, bronze, 1, 0)");
+    }
+}

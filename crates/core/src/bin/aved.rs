@@ -1,0 +1,356 @@
+//! `aved` — command-line front end to the design engine.
+//!
+//! ```text
+//! aved design --infrastructure infra.aved --service svc.aved \
+//!             --load 1000 --max-downtime 100m [--engine ctmc|decomp|sim]
+//! aved design --infrastructure infra.aved --service job.aved \
+//!             --max-execution-time 20h
+//! aved check  --infrastructure infra.aved [--service svc.aved]
+//! aved dump   --infrastructure infra.aved
+//! ```
+//!
+//! The built-in paper scenario is used when `--paper` replaces the model
+//! flags. Performance functions are resolved from the paper catalog; for
+//! custom services whose functions are not in the catalog, constant
+//! (`performance=N`) references always work.
+
+use std::process::ExitCode;
+
+use aved::avail::{CtmcEngine, DecompositionEngine, SimulationEngine};
+use aved::model::{Infrastructure, ParamValue, Service};
+use aved::units::Duration;
+use aved::{Aved, SearchOptions, ServiceRequirement};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  aved design (--paper-ecommerce | --paper-scientific |
+               --infrastructure FILE --service FILE)
+              (--requirement FILE | --load UNITS --max-downtime DUR |
+               --max-execution-time DUR)
+              [--engine ctmc|decomp|sim] [--max-spares N] [--max-extra N]
+              [--pin MECH.PARAM=VALUE]... [--explain]
+  aved check  --infrastructure FILE [--service FILE]
+  aved dump   --infrastructure FILE
+  aved sweep  (--paper-ecommerce | --infrastructure FILE --service FILE)
+              --tier NAME --load UNITS [--max-spares N] [--max-extra N]
+              [--pin MECH.PARAM=VALUE]...
+  aved export-markov --infrastructure FILE --resource NAME
+              --active N --min N [--spares N] [--pin MECH.PARAM=VALUE]...
+
+durations use the spec syntax: 30s, 2m, 8h, 650d";
+
+struct Flags<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Flags<'a> {
+    fn value(&self, name: &str) -> Option<&'a str> {
+        self.args
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn values(&self, name: &str) -> Vec<&'a str> {
+        let mut out = Vec::new();
+        for (i, a) in self.args.iter().enumerate() {
+            if a == name {
+                if let Some(v) = self.args.get(i + 1) {
+                    out.push(v.as_str());
+                }
+            }
+        }
+        out
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.args.iter().any(|a| a == name)
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err("missing command".into());
+    };
+    let flags = Flags { args: &args[1..] };
+    match command.as_str() {
+        "design" => design(&flags),
+        "check" => check(&flags),
+        "dump" => dump(&flags),
+        "export-markov" => export_markov(&flags),
+        "sweep" => sweep(&flags),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn load_infrastructure(flags: &Flags<'_>) -> Result<Infrastructure, String> {
+    if flags.has("--paper-ecommerce") || flags.has("--paper-scientific") {
+        return aved::scenario::infrastructure().map_err(|e| e.to_string());
+    }
+    let path = flags
+        .value("--infrastructure")
+        .ok_or("missing --infrastructure FILE")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    aved::spec::parse_infrastructure(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_service(flags: &Flags<'_>) -> Result<Service, String> {
+    if flags.has("--paper-ecommerce") {
+        return aved::scenario::ecommerce().map_err(|e| e.to_string());
+    }
+    if flags.has("--paper-scientific") {
+        return aved::scenario::scientific().map_err(|e| e.to_string());
+    }
+    let path = flags.value("--service").ok_or("missing --service FILE")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    aved::spec::parse_service(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn parse_duration(s: &str) -> Result<Duration, String> {
+    s.parse()
+        .map_err(|e: aved::units::ParseDurationError| e.to_string())
+}
+
+fn design(flags: &Flags<'_>) -> Result<(), String> {
+    let infrastructure = load_infrastructure(flags)?;
+    let service = load_service(flags)?;
+    infrastructure.validate().map_err(|e| e.to_string())?;
+    let explain = flags.has("--explain");
+
+    let requirement =
+        if let Some(path) = flags.value("--requirement") {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            aved::spec::parse_requirement(&text).map_err(|e| format!("{path}: {e}"))?
+        } else {
+            match (
+                flags.value("--load"),
+                flags.value("--max-downtime"),
+                flags.value("--max-execution-time"),
+            ) {
+                (Some(load), Some(downtime), None) => {
+                    let load: f64 = load.parse().map_err(|_| "bad --load value")?;
+                    ServiceRequirement::enterprise(load, parse_duration(downtime)?)
+                }
+                (None, None, Some(t)) => ServiceRequirement::job(parse_duration(t)?),
+                _ => return Err(
+                    "need --requirement FILE, or --load + --max-downtime, or --max-execution-time"
+                        .into(),
+                ),
+            }
+        };
+
+    let mut options = SearchOptions::default();
+    if let Some(v) = flags.value("--max-spares") {
+        options.max_spares = v.parse().map_err(|_| "bad --max-spares value")?;
+    }
+    if let Some(v) = flags.value("--max-extra") {
+        options.max_extra_active = v.parse().map_err(|_| "bad --max-extra value")?;
+    }
+    parse_pins(flags, &mut options)?;
+
+    let mut aved = Aved::new(infrastructure)
+        .with_catalog(aved::scenario::catalog())
+        .with_search_options(options);
+    match flags.value("--engine").unwrap_or("decomp") {
+        "decomp" => aved = aved.with_engine(DecompositionEngine::default()),
+        "ctmc" => aved = aved.with_engine(CtmcEngine::default()),
+        "sim" => aved = aved.with_engine(SimulationEngine::new(42).with_years(2000.0)),
+        other => return Err(format!("unknown engine {other:?}")),
+    }
+
+    match aved
+        .design(&service, &requirement)
+        .map_err(|e| e.to_string())?
+    {
+        None => {
+            println!("no design within the search bounds satisfies the requirement");
+            Ok(())
+        }
+        Some(report) => {
+            println!("minimum-cost design: {} per year", report.cost());
+            if let Some(dt) = report.annual_downtime() {
+                println!("expected annual downtime: {:.2} min", dt.minutes());
+            }
+            if let Some(t) = report.expected_job_time() {
+                println!("expected job completion: {:.2} h", t.hours());
+            }
+            for tier in report.design().tiers() {
+                println!("  {tier}");
+            }
+            if explain {
+                let text = aved::explain_design(aved.infrastructure(), &service, &report)
+                    .map_err(|e| e.to_string())?;
+                println!("\n{text}");
+            }
+            Ok(())
+        }
+    }
+}
+
+fn parse_pins(flags: &Flags<'_>, options: &mut SearchOptions) -> Result<(), String> {
+    for pin in flags.values("--pin") {
+        let (target, value) = pin
+            .split_once('=')
+            .ok_or("pins look like MECH.PARAM=VALUE")?;
+        let (mech, param) = target
+            .split_once('.')
+            .ok_or("pins look like MECH.PARAM=VALUE")?;
+        let value = match value.parse::<Duration>() {
+            Ok(d) => ParamValue::Duration(d),
+            Err(_) => ParamValue::Level(value.to_owned()),
+        };
+        *options = options.clone().with_pin(mech, param, value);
+    }
+    Ok(())
+}
+
+/// The cost/downtime Pareto frontier of one tier at a fixed load: the data
+/// a designer needs to pick their own point on the tradeoff.
+fn sweep(flags: &Flags<'_>) -> Result<(), String> {
+    use aved::avail::DecompositionEngine;
+    use aved::search::{tier_pareto_frontier, CachingEngine, EvalContext};
+
+    let infrastructure = load_infrastructure(flags)?;
+    let service = load_service(flags)?;
+    infrastructure.validate().map_err(|e| e.to_string())?;
+    let tier = flags.value("--tier").ok_or("missing --tier NAME")?;
+    let load: f64 = flags
+        .value("--load")
+        .ok_or("missing --load UNITS")?
+        .parse()
+        .map_err(|_| "bad --load value")?;
+    let mut options = SearchOptions::default();
+    if let Some(v) = flags.value("--max-spares") {
+        options.max_spares = v.parse().map_err(|_| "bad --max-spares value")?;
+    }
+    if let Some(v) = flags.value("--max-extra") {
+        options.max_extra_active = v.parse().map_err(|_| "bad --max-extra value")?;
+    }
+    parse_pins(flags, &mut options)?;
+
+    let catalog = aved::scenario::catalog();
+    let inner = DecompositionEngine::default();
+    let engine = CachingEngine::new(&inner);
+    let ctx = EvalContext::new(&infrastructure, &service, &catalog, &engine);
+    let frontier = tier_pareto_frontier(&ctx, tier, load, &options).map_err(|e| e.to_string())?;
+    if frontier.is_empty() {
+        println!("no design of tier {tier} can support load {load}");
+        return Ok(());
+    }
+    println!("cost/downtime frontier of tier {tier} at load {load}:");
+    println!("{:>12} {:>16}   design", "cost ($/y)", "downtime (m/y)");
+    for e in &frontier {
+        println!(
+            "{:>12.0} {:>16.3}   {}",
+            e.cost().dollars(),
+            e.annual_downtime().minutes(),
+            e.design(),
+        );
+    }
+    Ok(())
+}
+
+fn export_markov(flags: &Flags<'_>) -> Result<(), String> {
+    use aved::avail::{derive_tier_model, export_parameters, export_sharpe_markov, CtmcEngine};
+    use aved::model::{FailureScope, Sizing, TierDesign};
+
+    let infrastructure = load_infrastructure(flags)?;
+    infrastructure.validate().map_err(|e| e.to_string())?;
+    let resource = flags.value("--resource").ok_or("missing --resource NAME")?;
+    let n: u32 = flags
+        .value("--active")
+        .ok_or("missing --active N")?
+        .parse()
+        .map_err(|_| "bad --active value")?;
+    let m: u32 = flags
+        .value("--min")
+        .ok_or("missing --min N")?
+        .parse()
+        .map_err(|_| "bad --min value")?;
+    let s: u32 = flags
+        .value("--spares")
+        .map_or(Ok(0), str::parse)
+        .map_err(|_| "bad --spares value")?;
+
+    let mut td = TierDesign::new("export", resource, n, s);
+    for pin in flags.values("--pin") {
+        let (target, value) = pin
+            .split_once('=')
+            .ok_or("pins look like MECH.PARAM=VALUE")?;
+        let (mech, param) = target
+            .split_once('.')
+            .ok_or("pins look like MECH.PARAM=VALUE")?;
+        let value = match value.parse::<Duration>() {
+            Ok(d) => ParamValue::Duration(d),
+            Err(_) => ParamValue::Level(value.to_owned()),
+        };
+        td = td.with_setting(mech, param, value);
+    }
+
+    let model = derive_tier_model(
+        &infrastructure,
+        &td,
+        Sizing::Dynamic,
+        FailureScope::Resource,
+        m,
+    )
+    .map_err(|e| e.to_string())?;
+    println!("{}", export_parameters(&model));
+    let engine = CtmcEngine::default();
+    print!(
+        "{}",
+        export_sharpe_markov(&engine, &model).map_err(|e| e.to_string())?
+    );
+    Ok(())
+}
+
+fn check(flags: &Flags<'_>) -> Result<(), String> {
+    let infrastructure = load_infrastructure(flags)?;
+    infrastructure.validate().map_err(|e| e.to_string())?;
+    println!(
+        "infrastructure OK: {} components, {} mechanisms, {} resources",
+        infrastructure.components().count(),
+        infrastructure.mechanisms().count(),
+        infrastructure.resources().count(),
+    );
+    if flags.value("--service").is_some() {
+        let service = load_service(flags)?;
+        for tier in service.tiers() {
+            for opt in tier.options() {
+                if infrastructure.resource(opt.resource().as_str()).is_none() {
+                    return Err(format!(
+                        "tier {} references unknown resource {}",
+                        tier.name(),
+                        opt.resource()
+                    ));
+                }
+            }
+        }
+        println!(
+            "service {} OK: {} tier(s)",
+            service.name(),
+            service.tiers().len()
+        );
+    }
+    Ok(())
+}
+
+fn dump(flags: &Flags<'_>) -> Result<(), String> {
+    let infrastructure = load_infrastructure(flags)?;
+    print!("{}", aved::spec::write_infrastructure(&infrastructure));
+    Ok(())
+}

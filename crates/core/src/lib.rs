@@ -1,0 +1,71 @@
+//! # Aved — automated system design for availability
+//!
+//! A from-scratch Rust reproduction of the design-automation engine
+//! described in *Automated System Design for Availability* (Janakiraman,
+//! Santos, Turner — HP Labs, DSN 2004). Aved takes a description of the
+//! available infrastructure building blocks, a model of the service to
+//! deploy, and high-level requirements (throughput + annual downtime for
+//! always-on services; expected completion time for finite jobs), and
+//! searches the design space for the **minimum-cost design** that meets
+//! the requirements: resource type per tier, number of active resources,
+//! number and configuration of spares, and a setting for every
+//! availability-mechanism parameter (maintenance-contract level,
+//! checkpoint interval, checkpoint storage location, ...).
+//!
+//! This crate is the facade over the workspace:
+//!
+//! * [`units`], [`model`], [`spec`] — quantities, the design-space domain
+//!   model, and the paper's attribute-value specification language;
+//! * [`markov`], [`avail`] — the availability evaluation engines (exact
+//!   CTMC, fast per-class decomposition, and a Monte Carlo simulator);
+//! * [`perf`], [`jobtime`] — performance functions (the paper's Table 1)
+//!   and the loss-window/completion-time analysis;
+//! * [`search`] — the §4.1 design-space search and the tradeoff sweeps
+//!   behind the paper's Figs. 6–8;
+//! * [`scenario`] — the paper's own example models, ready to run;
+//! * [`Aved`] — the turn-key engine tying it all together.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use aved::scenario;
+//! use aved::{Aved, ServiceRequirement};
+//! use aved::units::Duration;
+//!
+//! // The paper's infrastructure (Fig. 3) and e-commerce service (Fig. 4).
+//! let aved = Aved::new(scenario::infrastructure()?)
+//!     .with_catalog(scenario::catalog());
+//! let requirement = ServiceRequirement::enterprise(
+//!     400.0,                        // units of load
+//!     Duration::from_mins(200.0),   // max annual downtime
+//! );
+//! let report = aved
+//!     .design(&scenario::ecommerce()?, &requirement)?
+//!     .expect("the requirement is satisfiable");
+//! assert!(report.annual_downtime().unwrap() <= Duration::from_mins(200.0));
+//! println!("optimal design costs {} per year", report.cost());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod engine;
+mod report;
+pub mod scenario;
+
+pub use engine::{Aved, DesignReport};
+pub use report::explain_design;
+
+// Re-export the workspace crates under stable module names.
+pub use aved_avail as avail;
+pub use aved_jobtime as jobtime;
+pub use aved_markov as markov;
+pub use aved_model as model;
+pub use aved_perf as perf;
+pub use aved_search as search;
+pub use aved_spec as spec;
+pub use aved_units as units;
+
+// Most-used types at the crate root for ergonomic imports.
+pub use aved_avail::{AvailabilityEngine, CtmcEngine, DecompositionEngine, SimulationEngine};
+pub use aved_model::{Design, Infrastructure, Service, ServiceRequirement, TierDesign};
+pub use aved_perf::Catalog;
+pub use aved_search::{SearchError, SearchOptions};

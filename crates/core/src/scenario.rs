@@ -1,0 +1,128 @@
+//! The paper's example scenario, bundled and ready to run.
+//!
+//! The specification files under `data/` transcribe the paper's Fig. 3
+//! (infrastructure), Fig. 4 (e-commerce service) and Fig. 5 (scientific
+//! application); the performance catalog carries the closed forms of
+//! Table 1. Together they are the inputs behind the paper's Figs. 6–8.
+
+use aved_model::{Infrastructure, Service};
+use aved_perf::Catalog;
+use aved_spec::SpecError;
+
+/// The raw text of the bundled infrastructure specification (Fig. 3).
+pub const INFRASTRUCTURE_SPEC: &str = include_str!("../../../data/infrastructure.aved");
+
+/// The raw text of the bundled e-commerce service model (Fig. 4).
+pub const ECOMMERCE_SPEC: &str = include_str!("../../../data/ecommerce.aved");
+
+/// The raw text of the bundled scientific application model (Fig. 5).
+pub const SCIENTIFIC_SPEC: &str = include_str!("../../../data/scientific.aved");
+
+/// Parses the paper's infrastructure model (Fig. 3).
+///
+/// # Errors
+///
+/// Returns [`SpecError`] if the bundled specification fails to parse —
+/// which would indicate a build corruption, not a user error.
+pub fn infrastructure() -> Result<Infrastructure, SpecError> {
+    aved_spec::parse_infrastructure(INFRASTRUCTURE_SPEC)
+}
+
+/// Parses the paper's three-tier e-commerce service model (Fig. 4).
+///
+/// # Errors
+///
+/// See [`infrastructure`].
+pub fn ecommerce() -> Result<Service, SpecError> {
+    aved_spec::parse_service(ECOMMERCE_SPEC)
+}
+
+/// Parses the paper's parallel scientific application model (Fig. 5).
+///
+/// # Errors
+///
+/// See [`infrastructure`].
+pub fn scientific() -> Result<Service, SpecError> {
+    aved_spec::parse_service(SCIENTIFIC_SPEC)
+}
+
+/// The performance catalog of the paper's Table 1 (plus the web-tier
+/// functions the paper references but does not tabulate; see `DESIGN.md`).
+#[must_use]
+pub fn catalog() -> Catalog {
+    aved_perf::paper::catalog()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aved_model::PerfRef;
+
+    #[test]
+    fn bundled_specs_parse_and_validate() {
+        let infra = infrastructure().unwrap();
+        assert_eq!(infra.components().count(), 9);
+        assert_eq!(infra.mechanisms().count(), 3);
+        assert_eq!(infra.resources().count(), 9);
+        infra.validate().unwrap();
+    }
+
+    #[test]
+    fn ecommerce_matches_fig4() {
+        let svc = ecommerce().unwrap();
+        assert_eq!(svc.tiers().len(), 3);
+        assert_eq!(svc.tier("application").unwrap().options().len(), 4);
+        assert_eq!(svc.tier("web").unwrap().options().len(), 2);
+        assert_eq!(svc.tier("database").unwrap().options().len(), 1);
+    }
+
+    #[test]
+    fn scientific_matches_fig5() {
+        let svc = scientific().unwrap();
+        assert_eq!(svc.job_size(), Some(10_000.0));
+        let comp = svc.tier("computation").unwrap();
+        assert_eq!(comp.options().len(), 2);
+    }
+
+    #[test]
+    fn catalog_resolves_every_referenced_function() {
+        let cat = catalog();
+        for svc in [ecommerce().unwrap(), scientific().unwrap()] {
+            for tier in svc.tiers() {
+                for opt in tier.options() {
+                    cat.resolve_perf(opt.performance())
+                        .unwrap_or_else(|e| panic!("{}: {e}", tier.name()));
+                    for mu in opt.mechanisms() {
+                        if let Some(name) = mu.mperformance() {
+                            cat.resolve_mperf(name)
+                                .unwrap_or_else(|e| panic!("{}: {e}", tier.name()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_service_resource_exists_in_infrastructure() {
+        let infra = infrastructure().unwrap();
+        for svc in [ecommerce().unwrap(), scientific().unwrap()] {
+            for tier in svc.tiers() {
+                for opt in tier.options() {
+                    assert!(
+                        infra.resource(opt.resource().as_str()).is_some(),
+                        "missing resource {}",
+                        opt.resource()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn database_tier_uses_constant_performance() {
+        let svc = ecommerce().unwrap();
+        let db = svc.tier("database").unwrap().option_for("rG").unwrap();
+        assert_eq!(db.performance(), &PerfRef::Const(10_000.0));
+    }
+}

@@ -1,0 +1,429 @@
+//! Expected job-completion-time analysis (paper §4.2, Eq. 1).
+//!
+//! For applications of finite duration, Aved estimates the expected time to
+//! complete the job, accounting for work lost to failures and re-executed.
+//! The paper's Eq. (1) gives the mean computation time `T_lw` needed to
+//! bank one *loss window* `lw` of useful work when failures arrive as a
+//! Poisson process with mean spacing `mtbf`:
+//!
+//! ```text
+//! P_f  = 1 − e^(−lw/mtbf)                (failure within a window)
+//! T_lw = mtbf · P_f / (1 − P_f)          = mtbf · (e^(lw/mtbf) − 1)
+//! ```
+//!
+//! The useful fraction of computation time is `lw / T_lw`; combined with
+//! the uptime fraction `T_up` from the availability engine, the effective
+//! useful time per wall-clock unit is `(T_up/T) · (lw/T_lw)`, and the
+//! expected job execution time follows from the performance model and job
+//! size. The no-checkpoint case falls out of the same closed form with the
+//! loss window equal to the whole job (the classic restart-from-scratch
+//! formula).
+//!
+//! # Examples
+//!
+//! ```
+//! use aved_jobtime::JobParams;
+//! use aved_units::Duration;
+//!
+//! // 100 h of computation, 30-minute checkpoints, one failure per 10 days.
+//! let params = JobParams::new(Duration::from_hours(100.0))
+//!     .with_loss_window(Duration::from_mins(30.0))
+//!     .with_system_mtbf(Duration::from_days(10.0))
+//!     .with_uptime_fraction(0.999);
+//! let t = params.expected_completion();
+//! assert!(t > Duration::from_hours(100.0));
+//! assert!(t < Duration::from_hours(101.0));
+//! ```
+
+use aved_units::Duration;
+use serde::{Deserialize, Serialize};
+
+/// The probability that at least one failure occurs within a window of
+/// length `lw`, for exponential inter-failure times with mean `mtbf`
+/// (Eq. 1's `P_f`).
+///
+/// # Panics
+///
+/// Panics if `mtbf` is zero.
+#[must_use]
+pub fn failure_probability(lw: Duration, mtbf: Duration) -> f64 {
+    assert!(!mtbf.is_zero(), "MTBF must be positive");
+    -(-(lw / mtbf)).exp_m1()
+}
+
+/// The mean computation time needed to complete one loss window of useful
+/// work (Eq. 1's `T_lw`): `mtbf · (e^(lw/mtbf) − 1)`.
+///
+/// Evaluated via `exp_m1` so that the common regime `lw ≪ mtbf` (where
+/// `T_lw → lw`) stays fully accurate.
+///
+/// # Panics
+///
+/// Panics if `mtbf` is zero.
+#[must_use]
+pub fn mean_time_per_loss_window(lw: Duration, mtbf: Duration) -> Duration {
+    assert!(!mtbf.is_zero(), "MTBF must be positive");
+    let ratio = lw / mtbf;
+    Duration::from_secs(mtbf.seconds() * ratio.exp_m1())
+}
+
+/// The fraction of computation time that is useful work, `lw / T_lw`.
+///
+/// Approaches 1 as `lw/mtbf → 0` (frequent checkpoints relative to
+/// failures) and 0 as `lw/mtbf → ∞`.
+///
+/// # Panics
+///
+/// Panics if `mtbf` or `lw` is zero.
+#[must_use]
+pub fn useful_fraction(lw: Duration, mtbf: Duration) -> f64 {
+    assert!(!lw.is_zero(), "loss window must be positive");
+    let t_lw = mean_time_per_loss_window(lw, mtbf);
+    lw / t_lw
+}
+
+/// Inputs to the expected-completion-time computation.
+///
+/// `work_time` is the failure-free computation time of the job *including*
+/// any checkpoint overhead (i.e. `job_size / performance(n)` scaled by the
+/// mperformance multiplier). The loss window, system MTBF and uptime
+/// fraction describe the failure environment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobParams {
+    work_time: Duration,
+    loss_window: Option<Duration>,
+    system_mtbf: Duration,
+    uptime_fraction: f64,
+}
+
+impl JobParams {
+    /// Creates parameters for a job needing `work_time` of failure-free
+    /// computation, with no checkpointing (whole job lost on failure), no
+    /// failures (infinite MTBF) and perfect uptime until configured
+    /// otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `work_time` is zero.
+    #[must_use]
+    pub fn new(work_time: Duration) -> JobParams {
+        assert!(!work_time.is_zero(), "work time must be positive");
+        JobParams {
+            work_time,
+            loss_window: None,
+            system_mtbf: Duration::from_secs(f64::INFINITY),
+            uptime_fraction: 1.0,
+        }
+    }
+
+    /// Sets the loss window (e.g. the checkpoint interval).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lw` is zero.
+    #[must_use]
+    pub fn with_loss_window(mut self, lw: Duration) -> JobParams {
+        assert!(!lw.is_zero(), "loss window must be positive");
+        self.loss_window = Some(lw);
+        self
+    }
+
+    /// Sets the system-level mean time between work-losing failures (for a
+    /// `failurescope=tier` application, the tier failure rate's mean).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mtbf` is zero.
+    #[must_use]
+    pub fn with_system_mtbf(mut self, mtbf: Duration) -> JobParams {
+        assert!(!mtbf.is_zero(), "system MTBF must be positive");
+        self.system_mtbf = mtbf;
+        self
+    }
+
+    /// Sets the fraction of wall-clock time the system is up (from the
+    /// availability engine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fraction is outside `(0, 1]`.
+    #[must_use]
+    pub fn with_uptime_fraction(mut self, f: f64) -> JobParams {
+        assert!(f > 0.0 && f <= 1.0, "uptime fraction must be in (0, 1]");
+        self.uptime_fraction = f;
+        self
+    }
+
+    /// The failure-free computation time.
+    #[must_use]
+    pub fn work_time(&self) -> Duration {
+        self.work_time
+    }
+
+    /// The effective loss window: the configured one, or the whole job
+    /// when no checkpointing is in place.
+    #[must_use]
+    pub fn effective_loss_window(&self) -> Duration {
+        self.loss_window
+            .unwrap_or(self.work_time)
+            .min(self.work_time)
+    }
+
+    /// The expected wall-clock completion time.
+    ///
+    /// Computation time inflates by `T_lw / lw` for re-execution of lost
+    /// work, and wall-clock time further inflates by the reciprocal of the
+    /// uptime fraction for time spent down. With an infinite MTBF this
+    /// reduces to `work_time / uptime_fraction`.
+    #[must_use]
+    pub fn expected_completion(&self) -> Duration {
+        let computation = if self.system_mtbf.seconds().is_infinite() {
+            self.work_time
+        } else {
+            let lw = self.effective_loss_window();
+            let frac = useful_fraction(lw, self.system_mtbf);
+            Duration::from_secs(self.work_time.seconds() / frac)
+        };
+        computation / self.uptime_fraction
+    }
+}
+
+/// Scans candidate checkpoint intervals and returns the one minimizing the
+/// expected completion time, together with that time.
+///
+/// `work_time_at(interval)` must return the failure-free computation time
+/// including the checkpoint overhead at that interval (the interval trades
+/// normal-operation overhead against re-execution after failures — the
+/// optimum balances the two, and shrinks as failures become more frequent,
+/// exactly the behaviour the paper's Fig. 7 shows).
+///
+/// Returns `None` when `candidates` is empty.
+pub fn optimal_checkpoint_interval<F>(
+    candidates: &[Duration],
+    system_mtbf: Duration,
+    uptime_fraction: f64,
+    mut work_time_at: F,
+) -> Option<(Duration, Duration)>
+where
+    F: FnMut(Duration) -> Duration,
+{
+    let mut best: Option<(Duration, Duration)> = None;
+    for &interval in candidates {
+        let params = JobParams::new(work_time_at(interval))
+            .with_loss_window(interval)
+            .with_system_mtbf(system_mtbf)
+            .with_uptime_fraction(uptime_fraction);
+        let t = params.expected_completion();
+        if best.is_none_or(|(_, bt)| t < bt) {
+            best = Some((interval, t));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn failure_probability_limits() {
+        let mtbf = Duration::from_hours(100.0);
+        assert_eq!(failure_probability(Duration::ZERO, mtbf), 0.0);
+        let p = failure_probability(Duration::from_hours(1e9), mtbf);
+        assert!((p - 1.0).abs() < 1e-12);
+        // lw = mtbf: P = 1 - 1/e.
+        let p = failure_probability(mtbf, mtbf);
+        assert!((p - (1.0 - (-1.0_f64).exp())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_lw_matches_eq1_form() {
+        // Check mtbf·P/(1−P) == mtbf·(e^x − 1) numerically.
+        let mtbf = Duration::from_hours(50.0);
+        for lw_h in [0.01, 0.5, 5.0, 50.0, 200.0] {
+            let lw = Duration::from_hours(lw_h);
+            let p = failure_probability(lw, mtbf);
+            let direct = mtbf.hours() * p / (1.0 - p);
+            let ours = mean_time_per_loss_window(lw, mtbf).hours();
+            assert!(
+                (direct - ours).abs() / ours < 1e-9,
+                "lw={lw_h}: {direct} vs {ours}"
+            );
+        }
+    }
+
+    #[test]
+    fn rare_failures_make_t_lw_approach_lw() {
+        let lw = Duration::from_mins(30.0);
+        let mtbf = Duration::from_days(365.0);
+        let t = mean_time_per_loss_window(lw, mtbf);
+        assert!((t / lw - 1.0).abs() < 1e-3);
+        assert!(useful_fraction(lw, mtbf) > 0.999);
+    }
+
+    #[test]
+    fn frequent_failures_crush_useful_fraction() {
+        let lw = Duration::from_hours(10.0);
+        let mtbf = Duration::from_hours(1.0);
+        assert!(useful_fraction(lw, mtbf) < 5e-4);
+    }
+
+    #[test]
+    fn no_failures_reduces_to_uptime_scaling() {
+        let p = JobParams::new(Duration::from_hours(100.0)).with_uptime_fraction(0.5);
+        assert!((p.expected_completion().hours() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_checkpoint_uses_whole_job_as_window() {
+        let p =
+            JobParams::new(Duration::from_hours(10.0)).with_system_mtbf(Duration::from_hours(10.0));
+        assert_eq!(p.effective_loss_window(), Duration::from_hours(10.0));
+        // Restart-from-scratch: E[T] = mtbf (e^{T/mtbf} - 1) = 10 (e - 1).
+        let expect = 10.0 * (1.0_f64.exp() - 1.0);
+        assert!((p.expected_completion().hours() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loss_window_never_exceeds_job() {
+        let p = JobParams::new(Duration::from_hours(1.0))
+            .with_loss_window(Duration::from_hours(100.0))
+            .with_system_mtbf(Duration::from_hours(50.0));
+        assert_eq!(p.effective_loss_window(), Duration::from_hours(1.0));
+    }
+
+    #[test]
+    fn checkpointing_beats_no_checkpointing_under_failures() {
+        let mtbf = Duration::from_hours(20.0);
+        let work = Duration::from_hours(100.0);
+        let without = JobParams::new(work)
+            .with_system_mtbf(mtbf)
+            .expected_completion();
+        let with = JobParams::new(work)
+            .with_loss_window(Duration::from_mins(30.0))
+            .with_system_mtbf(mtbf)
+            .expected_completion();
+        assert!(
+            with < without / 10.0,
+            "with={} without={}",
+            with.hours(),
+            without.hours()
+        );
+    }
+
+    #[test]
+    fn optimal_interval_balances_overhead_and_loss() {
+        // Checkpoint cost of 1 minute per checkpoint: work time scales by
+        // max(cost/cpi, 1) + ... model multiplicative overhead 1 + 1/cpi_min.
+        let base = Duration::from_hours(100.0);
+        let candidates: Vec<Duration> = (0..60)
+            .map(|i| Duration::from_mins(1.0) * 1.3_f64.powi(i))
+            .take_while(|d| *d <= Duration::from_hours(24.0))
+            .collect();
+        let mtbf = Duration::from_hours(10.0);
+        let (best, t_best) = optimal_checkpoint_interval(&candidates, mtbf, 1.0, |cpi| {
+            let overhead = 1.0 + 1.0 / cpi.minutes();
+            base * overhead
+        })
+        .unwrap();
+        // The optimum is interior: better than both extremes.
+        let eval = |cpi: Duration| {
+            JobParams::new(base * (1.0 + 1.0 / cpi.minutes()))
+                .with_loss_window(cpi)
+                .with_system_mtbf(mtbf)
+                .expected_completion()
+        };
+        assert!(t_best <= eval(candidates[0]));
+        assert!(t_best <= eval(*candidates.last().unwrap()));
+        assert!(best > candidates[0] && best < *candidates.last().unwrap());
+        // Classic Young approximation: optimum ~ sqrt(2 * cost * mtbf)
+        // = sqrt(2 * 1min * 600min) ~ 35 min; accept a broad band.
+        assert!(
+            best.minutes() > 10.0 && best.minutes() < 120.0,
+            "optimal interval {} min",
+            best.minutes()
+        );
+    }
+
+    #[test]
+    fn optimal_interval_shrinks_with_failure_rate() {
+        let base = Duration::from_hours(100.0);
+        let candidates: Vec<Duration> = (0..80)
+            .map(|i| Duration::from_mins(1.0) * 1.2_f64.powi(i))
+            .take_while(|d| *d <= Duration::from_hours(24.0))
+            .collect();
+        let work = |cpi: Duration| base * (1.0 + 1.0 / cpi.minutes());
+        let (frequent, _) =
+            optimal_checkpoint_interval(&candidates, Duration::from_hours(2.0), 1.0, work).unwrap();
+        let (rare, _) =
+            optimal_checkpoint_interval(&candidates, Duration::from_hours(200.0), 1.0, work)
+                .unwrap();
+        assert!(
+            frequent < rare,
+            "optimal interval should shrink as failures become frequent: {} vs {}",
+            frequent.minutes(),
+            rare.minutes()
+        );
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        assert!(
+            optimal_checkpoint_interval(&[], Duration::from_hours(1.0), 1.0, |_| {
+                Duration::from_hours(1.0)
+            })
+            .is_none()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "uptime fraction")]
+    fn zero_uptime_panics() {
+        let _ = JobParams::new(Duration::from_hours(1.0)).with_uptime_fraction(0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn completion_time_is_at_least_work_time(
+            work_h in 0.1_f64..1e4,
+            lw_mins in 1.0_f64..1000.0,
+            mtbf_h in 0.5_f64..1e5,
+            uptime in 0.5_f64..1.0,
+        ) {
+            let p = JobParams::new(Duration::from_hours(work_h))
+                .with_loss_window(Duration::from_mins(lw_mins))
+                .with_system_mtbf(Duration::from_hours(mtbf_h))
+                .with_uptime_fraction(uptime);
+            prop_assert!(p.expected_completion() >= p.work_time());
+        }
+
+        #[test]
+        fn completion_monotone_in_mtbf(
+            work_h in 1.0_f64..1e3,
+            lw_mins in 1.0_f64..500.0,
+            mtbf_h in 1.0_f64..1e4,
+        ) {
+            let mk = |mtbf: f64| {
+                JobParams::new(Duration::from_hours(work_h))
+                    .with_loss_window(Duration::from_mins(lw_mins))
+                    .with_system_mtbf(Duration::from_hours(mtbf))
+                    .expected_completion()
+            };
+            // More reliable system -> no slower completion.
+            prop_assert!(mk(mtbf_h * 2.0) <= mk(mtbf_h));
+        }
+
+        #[test]
+        fn useful_fraction_in_unit_interval(
+            lw_mins in 0.1_f64..1e5,
+            mtbf_h in 0.1_f64..1e5,
+        ) {
+            let f = useful_fraction(
+                Duration::from_mins(lw_mins),
+                Duration::from_hours(mtbf_h),
+            );
+            prop_assert!(f > 0.0 && f <= 1.0);
+        }
+    }
+}

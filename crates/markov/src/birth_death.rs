@@ -1,0 +1,245 @@
+//! Closed-form steady state for birth–death chains.
+//!
+//! Many classical availability models — k-of-n clusters with a shared or
+//! per-unit repair crew — are birth–death chains over the number of failed
+//! units. Their stationary distribution has the well-known product form
+//!
+//! ```text
+//! π_k ∝ Π_{i=0}^{k-1} birth_i / death_{i+1}
+//! ```
+//!
+//! which this module evaluates directly. The general solvers in this crate
+//! are cross-checked against it in tests, and the per-mode decomposition
+//! availability engine uses it for its inner chains.
+
+use crate::MarkovError;
+
+/// Computes the stationary distribution of a birth–death chain with states
+/// `0..=n` where `n = births.len()`.
+///
+/// `births[k]` is the rate from state `k` to `k+1` and `deaths[k]` the rate
+/// from `k+1` to `k`. All birth and death rates must be positive (a zero
+/// rate would make the chain reducible; truncate the chain instead).
+///
+/// # Errors
+///
+/// Returns [`MarkovError::InvalidRate`] if a rate is non-positive, NaN or
+/// infinite, and [`MarkovError::EmptyChain`] if `births` is empty (a 1-state
+/// chain needs no solving) — call with at least one birth rate.
+/// Returns [`MarkovError::Singular`] if `births.len() != deaths.len()`.
+///
+/// # Examples
+///
+/// ```
+/// use aved_markov::birth_death;
+///
+/// // M/M/1-like repair model: 2 machines, single repair crew.
+/// // births: 2λ from state 0, λ from state 1; deaths: μ, μ.
+/// let lambda = 0.01;
+/// let mu = 1.0;
+/// let pi = birth_death::steady_state(&[2.0 * lambda, lambda], &[mu, mu])?;
+/// assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+/// assert!(pi[0] > pi[1] && pi[1] > pi[2]);
+/// # Ok::<(), aved_markov::MarkovError>(())
+/// ```
+pub fn steady_state(births: &[f64], deaths: &[f64]) -> Result<Vec<f64>, MarkovError> {
+    if births.is_empty() {
+        return Err(MarkovError::EmptyChain);
+    }
+    if births.len() != deaths.len() {
+        return Err(MarkovError::Singular);
+    }
+    for (k, &r) in births.iter().enumerate() {
+        if r.is_nan() || r <= 0.0 || !r.is_finite() {
+            return Err(MarkovError::InvalidRate {
+                from: k,
+                to: k + 1,
+                rate: r,
+            });
+        }
+    }
+    for (k, &r) in deaths.iter().enumerate() {
+        if r.is_nan() || r <= 0.0 || !r.is_finite() {
+            return Err(MarkovError::InvalidRate {
+                from: k + 1,
+                to: k,
+                rate: r,
+            });
+        }
+    }
+
+    let n = births.len();
+    // Work in log space: products of rate ratios can overflow/underflow for
+    // long chains with widely separated rates (MTBF in years, repairs in
+    // seconds).
+    let mut log_weights = Vec::with_capacity(n + 1);
+    let mut acc = 0.0_f64;
+    log_weights.push(0.0);
+    for k in 0..n {
+        acc += births[k].ln() - deaths[k].ln();
+        log_weights.push(acc);
+    }
+    let max_log = log_weights.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+    let mut pi: Vec<f64> = log_weights.iter().map(|&w| (w - max_log).exp()).collect();
+    let sum: f64 = pi.iter().sum();
+    for p in &mut pi {
+        *p /= sum;
+    }
+    Ok(pi)
+}
+
+/// Steady-state probability that a k-of-n system with per-unit repair is up.
+///
+/// Units fail independently at rate `lambda` while operational and are
+/// repaired independently at rate `mu`; the system is up while at least
+/// `k_required` of the `n` units are operational. Only operational units
+/// fail (failed units are in repair). This is the "machine-repairman" model
+/// with as many repair crews as machines.
+///
+/// # Errors
+///
+/// Propagates [`MarkovError`] from the underlying chain; additionally
+/// returns [`MarkovError::Singular`] if `k_required > n` or `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use aved_markov::birth_death;
+///
+/// // 1-of-2 with perfect repair: unavailability ~ (λ/μ)² near λ<<μ.
+/// let a = birth_death::k_of_n_availability(2, 1, 0.001, 1.0)?;
+/// assert!(1.0 - a < 2e-6);
+/// # Ok::<(), aved_markov::MarkovError>(())
+/// ```
+pub fn k_of_n_availability(
+    n: usize,
+    k_required: usize,
+    lambda: f64,
+    mu: f64,
+) -> Result<f64, MarkovError> {
+    if n == 0 || k_required > n {
+        return Err(MarkovError::Singular);
+    }
+    // State = number failed, 0..=n. Failure rate from state j is
+    // (n - j) * lambda (operational units fail); repair rate is j * mu... as
+    // seen from state j+1 the repair rate is (j+1) * mu.
+    let births: Vec<f64> = (0..n).map(|j| (n - j) as f64 * lambda).collect();
+    let deaths: Vec<f64> = (0..n).map(|j| (j + 1) as f64 * mu).collect();
+    let pi = steady_state(&births, &deaths)?;
+    // Up while failed count <= n - k_required.
+    Ok(pi[..=(n - k_required)].iter().sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CtmcBuilder, DenseSolver, SteadyStateSolver};
+    use proptest::prelude::*;
+
+    #[test]
+    fn two_state_closed_form() {
+        let pi = steady_state(&[0.5], &[2.0]).unwrap();
+        assert!((pi[0] - 0.8).abs() < 1e-12);
+        assert!((pi[1] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_mismatched_lengths() {
+        assert!(matches!(
+            steady_state(&[1.0, 2.0], &[1.0]),
+            Err(MarkovError::Singular)
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_rate() {
+        assert!(steady_state(&[0.0], &[1.0]).is_err());
+        assert!(steady_state(&[1.0], &[0.0]).is_err());
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(matches!(
+            steady_state(&[], &[]),
+            Err(MarkovError::EmptyChain)
+        ));
+    }
+
+    #[test]
+    fn survives_extreme_rate_ratios() {
+        // 20 states with ratio 1e-9 per step: naive products underflow at
+        // 1e-180 scale but log-space stays exact.
+        let births = vec![1e-6; 20];
+        let deaths = vec![1e3; 20];
+        let pi = steady_state(&births, &deaths).unwrap();
+        // pi_0 = 1/(1 + 1e-9 + 1e-18 + ...): within ~1e-9 of 1.
+        assert!((pi[0] - 1.0).abs() < 2e-9);
+        assert!(pi.iter().all(|&p| p >= 0.0));
+        // Deep states underflow to zero rather than NaN.
+        assert!(pi.iter().all(|&p| p.is_finite()));
+    }
+
+    #[test]
+    fn k_of_n_matches_binomial_availability() {
+        // With per-unit repair the units are independent; the availability
+        // is the binomial tail with per-unit availability mu/(lambda+mu).
+        let (n, k) = (5, 3);
+        let (lambda, mu) = (0.2, 1.0);
+        let a_unit = mu / (lambda + mu);
+        let got = k_of_n_availability(n, k, lambda, mu).unwrap();
+        let mut expect = 0.0;
+        for up in k..=n {
+            expect +=
+                binomial(n, up) * a_unit.powi(up as i32) * (1.0 - a_unit).powi((n - up) as i32);
+        }
+        assert!((got - expect).abs() < 1e-12, "got {got} expect {expect}");
+    }
+
+    fn binomial(n: usize, k: usize) -> f64 {
+        let mut r = 1.0;
+        for i in 0..k {
+            r *= (n - i) as f64 / (i + 1) as f64;
+        }
+        r
+    }
+
+    #[test]
+    fn k_of_n_rejects_bad_arguments() {
+        assert!(k_of_n_availability(0, 0, 1.0, 1.0).is_err());
+        assert!(k_of_n_availability(2, 3, 1.0, 1.0).is_err());
+    }
+
+    proptest! {
+        /// The closed form must agree with the dense solver on the explicit
+        /// chain.
+        #[test]
+        fn agrees_with_dense_solver(
+            n in 1_usize..12,
+            rates in proptest::collection::vec(0.01_f64..100.0, 2 * 12),
+        ) {
+            let births = &rates[..n];
+            let deaths = &rates[12..12 + n];
+            let closed = steady_state(births, deaths).unwrap();
+
+            let mut b = CtmcBuilder::new(n + 1);
+            for k in 0..n {
+                b.rate(k, k + 1, births[k]);
+                b.rate(k + 1, k, deaths[k]);
+            }
+            let dense = DenseSolver::new().steady_state(&b.build().unwrap()).unwrap();
+            for (c, d) in closed.iter().zip(dense.iter()) {
+                prop_assert!((c - d).abs() < 1e-9, "closed={} dense={}", c, d);
+            }
+        }
+
+        #[test]
+        fn distribution_is_normalized(
+            n in 1_usize..30,
+            rates in proptest::collection::vec(1e-6_f64..1e6, 2 * 30),
+        ) {
+            let pi = steady_state(&rates[..n], &rates[30..30 + n]).unwrap();
+            prop_assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            prop_assert!(pi.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Minimal compressed-sparse-row matrix for transition storage.
+
+use serde::{Deserialize, Serialize};
+
+/// A row-major sparse matrix of `(column, value)` entries.
+///
+/// This is deliberately minimal: availability models produce generator
+/// matrices with a handful of entries per row, and the solvers only need
+/// row iteration and transpose-vector products.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CsrMatrix {
+    n_rows: usize,
+    row_starts: Vec<usize>,
+    entries: Vec<(usize, f64)>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from unsorted triplets, merging duplicates by
+    /// summation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row or column index is `>= n_rows` / `>= n_cols`
+    /// respectively (the matrix is square here: `n_cols == n_rows`).
+    #[must_use]
+    pub fn from_triplets(n_rows: usize, mut triplets: Vec<(usize, usize, f64)>) -> CsrMatrix {
+        for &(r, c, _) in &triplets {
+            assert!(r < n_rows && c < n_rows, "triplet index out of range");
+        }
+        triplets.sort_unstable_by_key(|a| (a.0, a.1));
+        let mut row_starts = Vec::with_capacity(n_rows + 1);
+        let mut entries: Vec<(usize, f64)> = Vec::with_capacity(triplets.len());
+        let mut current_row = 0;
+        row_starts.push(0);
+        for (r, c, v) in triplets {
+            while current_row < r {
+                row_starts.push(entries.len());
+                current_row += 1;
+            }
+            // Merge duplicates, but only within the current row.
+            if entries.len() > row_starts[current_row] {
+                let last = entries.last_mut().expect("row is nonempty");
+                if last.0 == c {
+                    last.1 += v;
+                    continue;
+                }
+            }
+            entries.push((c, v));
+        }
+        while current_row < n_rows {
+            row_starts.push(entries.len());
+            current_row += 1;
+        }
+        debug_assert_eq!(row_starts.len(), n_rows + 1);
+        CsrMatrix {
+            n_rows,
+            row_starts,
+            entries,
+        }
+    }
+
+    /// Number of rows (== columns; the matrix is square).
+    #[must_use]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of stored entries.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The entries of row `r` as `(column, value)` pairs, sorted by column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= n_rows`.
+    #[must_use]
+    pub fn row(&self, r: usize) -> &[(usize, f64)] {
+        &self.entries[self.row_starts[r]..self.row_starts[r + 1]]
+    }
+
+    /// Computes `y = xᵀ·A` (left multiplication by a row vector), writing
+    /// into `y`.
+    ///
+    /// This is the operation needed by power iteration on `π ← π·P`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` or `y.len()` differ from the matrix dimension.
+    pub fn left_mul(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n_rows);
+        assert_eq!(y.len(), self.n_rows);
+        y.fill(0.0);
+        for (r, &xr) in x.iter().enumerate() {
+            if xr == 0.0 {
+                continue;
+            }
+            for &(c, v) in self.row(r) {
+                y[c] += xr * v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn builds_sorted_rows() {
+        let m = CsrMatrix::from_triplets(3, vec![(2, 0, 5.0), (0, 2, 1.0), (0, 1, 2.0)]);
+        assert_eq!(m.row(0), &[(1, 2.0), (2, 1.0)]);
+        assert_eq!(m.row(1), &[]);
+        assert_eq!(m.row(2), &[(0, 5.0)]);
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn merges_duplicates() {
+        let m = CsrMatrix::from_triplets(2, vec![(0, 1, 1.0), (0, 1, 2.5)]);
+        assert_eq!(m.row(0), &[(1, 3.5)]);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn does_not_merge_across_rows() {
+        let m = CsrMatrix::from_triplets(3, vec![(0, 2, 1.0), (1, 2, 2.0)]);
+        assert_eq!(m.row(0), &[(2, 1.0)]);
+        assert_eq!(m.row(1), &[(2, 2.0)]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = CsrMatrix::from_triplets(4, vec![]);
+        assert_eq!(m.nnz(), 0);
+        for r in 0..4 {
+            assert!(m.row(r).is_empty());
+        }
+    }
+
+    #[test]
+    fn left_mul_matches_dense() {
+        let m = CsrMatrix::from_triplets(3, vec![(0, 1, 2.0), (1, 2, 3.0), (2, 0, 4.0)]);
+        let x = [1.0, 10.0, 100.0];
+        let mut y = [0.0; 3];
+        m.left_mul(&x, &mut y);
+        // y_c = sum_r x_r * A[r][c]
+        assert_eq!(y, [400.0, 2.0, 30.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let _ = CsrMatrix::from_triplets(2, vec![(0, 5, 1.0)]);
+    }
+
+    proptest! {
+        #[test]
+        fn left_mul_agrees_with_naive(
+            n in 1_usize..8,
+            trips in proptest::collection::vec((0_usize..8, 0_usize..8, -10.0_f64..10.0), 0..30),
+            xs in proptest::collection::vec(-5.0_f64..5.0, 8),
+        ) {
+            let trips: Vec<_> = trips
+                .into_iter()
+                .map(|(r, c, v)| (r % n, c % n, v))
+                .collect();
+            let mut dense = vec![vec![0.0; n]; n];
+            for &(r, c, v) in &trips {
+                dense[r][c] += v;
+            }
+            let m = CsrMatrix::from_triplets(n, trips);
+            let x = &xs[..n];
+            let mut y = vec![0.0; n];
+            m.left_mul(x, &mut y);
+            for c in 0..n {
+                let expect: f64 = (0..n).map(|r| x[r] * dense[r][c]).sum();
+                prop_assert!((y[c] - expect).abs() < 1e-9);
+            }
+        }
+    }
+}

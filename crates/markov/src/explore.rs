@@ -1,0 +1,265 @@
+//! Breadth-first state-space exploration.
+//!
+//! Availability models are most naturally written as *rules*: "from any
+//! state, each failure class `i` fires at rate `k_i λ_i` and leads to this
+//! successor". This module turns such a rule (a successor function) into an
+//! explicit [`Ctmc`](crate::Ctmc) by breadth-first exploration from an
+//! initial state, assigning dense indices as states are discovered.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::hash::Hash;
+
+use crate::{Ctmc, CtmcBuilder, MarkovError};
+
+/// The result of exploring a procedural model: the chain plus the mapping
+/// between model states and CTMC indices.
+#[derive(Debug, Clone)]
+pub struct Explored<S> {
+    ctmc: Ctmc,
+    states: Vec<S>,
+}
+
+impl<S> Explored<S> {
+    /// The explored chain. State `0` is the initial state.
+    #[must_use]
+    pub fn ctmc(&self) -> &Ctmc {
+        &self.ctmc
+    }
+
+    /// The model state for a CTMC index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn state(&self, index: usize) -> &S {
+        &self.states[index]
+    }
+
+    /// All discovered states, in index order.
+    #[must_use]
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+
+    /// Number of discovered states.
+    #[must_use]
+    pub fn n_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Evaluates a per-state reward vector (e.g. 1.0 for "down" states).
+    pub fn reward_vector<F: Fn(&S) -> f64>(&self, reward: F) -> Vec<f64> {
+        self.states.iter().map(reward).collect()
+    }
+}
+
+/// Explores the state space reachable from `initial` under `successors` and
+/// builds the corresponding CTMC.
+///
+/// `successors(state)` returns the outgoing transitions as
+/// `(rate, next_state)` pairs. Transitions with zero rate are dropped;
+/// transitions that lead back to the same state are rejected (model bug).
+/// Exploration is breadth-first, so state indices are stable for a given
+/// model: the initial state is index 0.
+///
+/// `max_states` bounds exploration as a defense against runaway models.
+///
+/// # Errors
+///
+/// Returns [`MarkovError::StateOutOfRange`] (with `state == max_states`) if
+/// the bound is exceeded, or any construction error from the underlying
+/// [`CtmcBuilder`]. Irreducibility is *not* checked here — truncated
+/// availability models are frequently solved with solvers that check it
+/// themselves.
+///
+/// # Examples
+///
+/// ```
+/// use aved_markov::{explore, DenseSolver, SteadyStateSolver};
+///
+/// // 3 machines, each failing at 0.01/h and repaired at 1/h; state = number
+/// // failed, capped at 2 concurrent failures (truncation).
+/// let explored = explore(0_u32, 10_000, |&k| {
+///     let mut out = Vec::new();
+///     if k < 2 {
+///         out.push(((3 - k) as f64 * 0.01, k + 1));
+///     }
+///     if k > 0 {
+///         out.push((k as f64 * 1.0, k - 1));
+///     }
+///     out
+/// })?;
+/// assert_eq!(explored.n_states(), 3);
+/// let pi = DenseSolver::default().steady_state(explored.ctmc())?;
+/// assert!(pi[0] > 0.95);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn explore<S, F, I>(
+    initial: S,
+    max_states: usize,
+    successors: F,
+) -> Result<Explored<S>, MarkovError>
+where
+    S: Clone + Eq + Hash,
+    F: Fn(&S) -> I,
+    I: IntoIterator<Item = (f64, S)>,
+{
+    let mut index: HashMap<S, usize> = HashMap::new();
+    let mut states: Vec<S> = Vec::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut transitions: Vec<(usize, usize, f64)> = Vec::new();
+
+    index.insert(initial.clone(), 0);
+    states.push(initial);
+    queue.push_back(0);
+
+    while let Some(from) = queue.pop_front() {
+        let outgoing = successors(&states[from]);
+        for (rate, next) in outgoing {
+            if rate == 0.0 {
+                continue;
+            }
+            let to = match index.get(&next) {
+                Some(&i) => i,
+                None => {
+                    if states.len() >= max_states {
+                        return Err(MarkovError::StateOutOfRange {
+                            state: max_states,
+                            n_states: max_states,
+                        });
+                    }
+                    let i = states.len();
+                    index.insert(next.clone(), i);
+                    states.push(next);
+                    queue.push_back(i);
+                    i
+                }
+            };
+            transitions.push((from, to, rate));
+        }
+    }
+
+    let mut builder = CtmcBuilder::new(states.len());
+    for (from, to, rate) in transitions {
+        builder.rate(from, to, rate);
+    }
+    let ctmc = builder.build_lenient()?;
+    Ok(Explored { ctmc, states })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DenseSolver, SteadyStateSolver};
+
+    #[test]
+    fn explores_birth_death_chain() {
+        let e = explore(0_u8, 100, |&k| {
+            let mut out = Vec::new();
+            if k < 3 {
+                out.push((1.0, k + 1));
+            }
+            if k > 0 {
+                out.push((2.0, k - 1));
+            }
+            out
+        })
+        .unwrap();
+        assert_eq!(e.n_states(), 4);
+        assert_eq!(*e.state(0), 0);
+        // BFS ordering: states discovered in increasing k.
+        assert_eq!(e.states(), &[0, 1, 2, 3]);
+        let pi = DenseSolver::new().steady_state(e.ctmc()).unwrap();
+        let bd = crate::birth_death::steady_state(&[1.0; 3], &[2.0; 3]).unwrap();
+        for (a, b) in pi.iter().zip(bd.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn respects_state_bound() {
+        let res = explore(0_u64, 5, |&k| {
+            vec![(1.0, k + 1), (1.0, k.saturating_sub(1))]
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn drops_zero_rate_transitions() {
+        let e = explore(0_u8, 10, |&k| match k {
+            0 => vec![(0.0, 5_u8), (1.0, 1)],
+            1 => vec![(1.0, 0)],
+            _ => vec![],
+        })
+        .unwrap();
+        // State 5 is never materialized because its only incoming rate is 0.
+        assert_eq!(e.n_states(), 2);
+    }
+
+    #[test]
+    fn reward_vector_maps_states() {
+        let e = explore(0_u8, 10, |&k| {
+            if k == 0 {
+                vec![(1.0, 1_u8)]
+            } else {
+                vec![(1.0, 0)]
+            }
+        })
+        .unwrap();
+        let r = e.reward_vector(|&k| if k == 1 { 1.0 } else { 0.0 });
+        assert_eq!(r, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn structured_states_work() {
+        #[derive(Clone, PartialEq, Eq, Hash, Debug)]
+        struct St {
+            failed: u8,
+            failover: bool,
+        }
+        let e = explore(
+            St {
+                failed: 0,
+                failover: false,
+            },
+            100,
+            |s| {
+                let mut out = Vec::new();
+                if s.failed == 0 && !s.failover {
+                    out.push((
+                        0.01,
+                        St {
+                            failed: 1,
+                            failover: true,
+                        },
+                    ));
+                }
+                if s.failover {
+                    out.push((
+                        10.0,
+                        St {
+                            failed: s.failed,
+                            failover: false,
+                        },
+                    ));
+                }
+                if s.failed > 0 && !s.failover {
+                    out.push((
+                        1.0,
+                        St {
+                            failed: s.failed - 1,
+                            failover: false,
+                        },
+                    ));
+                }
+                out
+            },
+        )
+        .unwrap();
+        assert_eq!(e.n_states(), 3);
+        let pi = DenseSolver::new().steady_state(e.ctmc()).unwrap();
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+}

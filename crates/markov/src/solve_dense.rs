@@ -1,0 +1,269 @@
+//! Exact steady-state solution by Gaussian elimination.
+
+use crate::{Ctmc, MarkovError, SteadyStateSolver};
+
+/// Direct steady-state solver.
+///
+/// Solves `Qᵀ·πᵀ = 0` with the normalization constraint `Σπ = 1` by
+/// replacing the last equation with the all-ones row, then running Gaussian
+/// elimination with partial pivoting. Exact (up to floating point) and
+/// robust for the modest chains produced by tier availability models
+/// (typically well under a thousand states).
+///
+/// # Examples
+///
+/// ```
+/// use aved_markov::{CtmcBuilder, DenseSolver, SteadyStateSolver};
+///
+/// // Birth-death chain 0 <-> 1 <-> 2.
+/// let mut b = CtmcBuilder::new(3);
+/// b.rate(0, 1, 1.0).rate(1, 2, 1.0).rate(1, 0, 2.0).rate(2, 1, 2.0);
+/// let pi = DenseSolver::default().steady_state(&b.build()?)?;
+/// assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+/// # Ok::<(), aved_markov::MarkovError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DenseSolver {
+    _private: (),
+}
+
+impl DenseSolver {
+    /// Creates a dense solver.
+    #[must_use]
+    pub fn new() -> DenseSolver {
+        DenseSolver::default()
+    }
+}
+
+impl SteadyStateSolver for DenseSolver {
+    fn steady_state(&self, ctmc: &Ctmc) -> Result<Vec<f64>, MarkovError> {
+        ctmc.check_irreducible()
+            .map_err(|state| MarkovError::Reducible { state })?;
+        let n = ctmc.n_states();
+        if n == 1 {
+            return Ok(vec![1.0]);
+        }
+
+        // Assemble A = Qᵀ as a dense matrix, then overwrite the last row
+        // with ones (normalization). b = e_{n-1}.
+        let mut a = vec![0.0_f64; n * n];
+        for t in ctmc.transitions() {
+            // Q[from][to] += rate; Q[from][from] -= rate. Transposed:
+            a[t.to * n + t.from] += t.rate;
+            a[t.from * n + t.from] -= t.rate;
+        }
+        for col in 0..n {
+            a[(n - 1) * n + col] = 1.0;
+        }
+        let mut b = vec![0.0_f64; n];
+        b[n - 1] = 1.0;
+
+        solve_linear(&mut a, &mut b, n)?;
+
+        // Guard against tiny negative values from rounding.
+        let mut sum = 0.0;
+        for p in &mut b {
+            if *p < 0.0 {
+                if *p < -1e-8 {
+                    return Err(MarkovError::Singular);
+                }
+                *p = 0.0;
+            }
+            sum += *p;
+        }
+        if sum.is_nan() || sum <= 0.0 || !sum.is_finite() {
+            return Err(MarkovError::Singular);
+        }
+        for p in &mut b {
+            *p /= sum;
+        }
+        Ok(b)
+    }
+}
+
+/// In-place Gaussian elimination with partial pivoting on an `n×n`
+/// row-major matrix; the solution overwrites `b`.
+fn solve_linear(a: &mut [f64], b: &mut [f64], n: usize) -> Result<(), MarkovError> {
+    for col in 0..n {
+        // Partial pivot: find the largest magnitude entry in this column.
+        let mut pivot_row = col;
+        let mut pivot_val = a[col * n + col].abs();
+        for row in (col + 1)..n {
+            let v = a[row * n + col].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = row;
+            }
+        }
+        if pivot_val < 1e-300 {
+            return Err(MarkovError::Singular);
+        }
+        if pivot_row != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot_row * n + k);
+            }
+            b.swap(col, pivot_row);
+        }
+        let pivot = a[col * n + col];
+        for row in (col + 1)..n {
+            let factor = a[row * n + col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            a[row * n + col] = 0.0;
+            for k in (col + 1)..n {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    for col in (0..n).rev() {
+        let mut v = b[col];
+        for k in (col + 1)..n {
+            v -= a[col * n + k] * b[k];
+        }
+        b[col] = v / a[col * n + col];
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CtmcBuilder;
+    use proptest::prelude::*;
+
+    fn solve(builder: &CtmcBuilder) -> Vec<f64> {
+        DenseSolver::new()
+            .steady_state(&builder.build().unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn two_state_repair_model() {
+        // MTBF 100, MTTR 1 => availability 100/101.
+        let mut b = CtmcBuilder::new(2);
+        b.rate(0, 1, 1.0 / 100.0).rate(1, 0, 1.0);
+        let pi = solve(&b);
+        assert!((pi[0] - 100.0 / 101.0).abs() < 1e-12);
+        assert!((pi[1] - 1.0 / 101.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detailed_balance_chain() {
+        // 3-state ring with symmetric rates has uniform stationary dist.
+        let mut b = CtmcBuilder::new(3);
+        for (i, j) in [(0, 1), (1, 2), (2, 0), (1, 0), (2, 1), (0, 2)] {
+            b.rate(i, j, 2.0);
+        }
+        let pi = solve(&b);
+        for p in pi {
+            assert!((p - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn asymmetric_ring() {
+        // One-directional ring: uniform stationary distribution as well
+        // (doubly stochastic generator).
+        let mut b = CtmcBuilder::new(4);
+        b.rate(0, 1, 5.0)
+            .rate(1, 2, 5.0)
+            .rate(2, 3, 5.0)
+            .rate(3, 0, 5.0);
+        let pi = solve(&b);
+        for p in pi {
+            assert!((p - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ring_with_unequal_rates() {
+        // pi_i proportional to 1/rate_i for a unidirectional ring.
+        let rates = [1.0, 2.0, 4.0];
+        let mut b = CtmcBuilder::new(3);
+        b.rate(0, 1, rates[0])
+            .rate(1, 2, rates[1])
+            .rate(2, 0, rates[2]);
+        let pi = solve(&b);
+        let weight: f64 = rates.iter().map(|r| 1.0 / r).sum();
+        for (i, p) in pi.iter().enumerate() {
+            assert!((p - (1.0 / rates[i]) / weight).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn widely_separated_rates_stay_accurate() {
+        // MTBF years vs repair minutes: rate ratio ~ 1e7.
+        let lambda = 1.0 / (650.0 * 24.0); // per hour
+        let mu = 60.0; // one minute repairs
+        let mut b = CtmcBuilder::new(2);
+        b.rate(0, 1, lambda).rate(1, 0, mu);
+        let pi = solve(&b);
+        let expect = lambda / (lambda + mu);
+        assert!((pi[1] - expect).abs() / expect < 1e-10);
+    }
+
+    #[test]
+    fn reducible_chain_is_rejected() {
+        let mut b = CtmcBuilder::new(3);
+        b.rate(0, 1, 1.0).rate(1, 0, 1.0).rate(2, 0, 1.0);
+        let ctmc = b.build_unchecked();
+        assert!(matches!(
+            DenseSolver::new().steady_state(&ctmc),
+            Err(MarkovError::Reducible { .. })
+        ));
+    }
+
+    #[test]
+    fn single_state() {
+        let b = CtmcBuilder::new(1);
+        let pi = solve(&b);
+        assert_eq!(pi, vec![1.0]);
+    }
+
+    proptest! {
+        /// For random irreducible 2-state chains the closed form is known.
+        #[test]
+        fn two_state_closed_form(lambda in 1e-8_f64..1e3, mu in 1e-8_f64..1e3) {
+            let mut b = CtmcBuilder::new(2);
+            b.rate(0, 1, lambda).rate(1, 0, mu);
+            let pi = solve(&b);
+            let expect0 = mu / (lambda + mu);
+            prop_assert!((pi[0] - expect0).abs() < 1e-9 * expect0.max(1e-12));
+        }
+
+        /// Random strongly-connected chains: the result satisfies piQ = 0.
+        #[test]
+        fn residual_is_small(
+            n in 2_usize..12,
+            seed_rates in proptest::collection::vec(0.01_f64..100.0, 2 * 12),
+        ) {
+            let mut b = CtmcBuilder::new(n);
+            // Ring to guarantee irreducibility...
+            for (i, &rate) in seed_rates.iter().enumerate().take(n) {
+                b.rate(i, (i + 1) % n, rate);
+            }
+            // ...plus some chords.
+            for i in 0..n {
+                let j = (i * 7 + 3) % n;
+                if j != i {
+                    b.rate(i, j, seed_rates[n + i]);
+                }
+            }
+            let ctmc = b.build().unwrap();
+            let pi = DenseSolver::new().steady_state(&ctmc).unwrap();
+            // residual_j = sum_i pi_i Q[i][j]
+            let mut residual = vec![0.0_f64; n];
+            for t in ctmc.transitions() {
+                residual[t.to] += pi[t.from] * t.rate;
+                residual[t.from] -= pi[t.from] * t.rate;
+            }
+            for r in residual {
+                prop_assert!(r.abs() < 1e-8);
+            }
+            prop_assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+        }
+    }
+}

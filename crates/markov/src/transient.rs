@@ -1,0 +1,348 @@
+//! Transient analysis by uniformization (Jensen's method).
+//!
+//! The paper's evaluation only needs steady-state downtime, but its future
+//! work calls for richer lifetime management; transient measures (interval
+//! availability over a mission time, probability of surviving the first
+//! month, mean time to first failure) are the natural extension. This module
+//! provides them:
+//!
+//! * [`distribution_at`] — state distribution at time *t*,
+//! * [`accumulated_reward`] — expected time-integral of a reward over
+//!   `[0, t]` (e.g. expected downtime during a mission window),
+//! * [`mean_time_to_absorption`] — MTTF-style measures on absorbing chains.
+
+use crate::{Ctmc, MarkovError};
+
+/// Maximum number of uniformization terms before giving up.
+const MAX_TERMS: usize = 1_000_000;
+
+/// Computes the state distribution at time `t`, starting from `initial`.
+///
+/// Uses uniformization: `π(t) = Σ_k Poisson(Λt; k) · π₀ Pᵏ` with
+/// `P = I + Q/Λ`, truncating the Poisson sum once the accumulated
+/// probability mass exceeds `1 − tol`.
+///
+/// # Errors
+///
+/// Returns [`MarkovError::NoConvergence`] if the Poisson sum needs more than
+/// a million terms (Λt too large — consider steady-state analysis instead),
+/// or [`MarkovError::StateOutOfRange`] for a bad initial distribution
+/// length.
+///
+/// # Examples
+///
+/// ```
+/// use aved_markov::{CtmcBuilder, transient};
+///
+/// let mut b = CtmcBuilder::new(2);
+/// b.rate(0, 1, 1.0).rate(1, 0, 1.0);
+/// let ctmc = b.build()?;
+/// let p = transient::distribution_at(&ctmc, &[1.0, 0.0], 1000.0, 1e-12)?;
+/// // Long horizon: converged to the 50/50 steady state.
+/// assert!((p[0] - 0.5).abs() < 1e-9);
+/// # Ok::<(), aved_markov::MarkovError>(())
+/// ```
+pub fn distribution_at(
+    ctmc: &Ctmc,
+    initial: &[f64],
+    t: f64,
+    tol: f64,
+) -> Result<Vec<f64>, MarkovError> {
+    let n = ctmc.n_states();
+    if initial.len() != n {
+        return Err(MarkovError::StateOutOfRange {
+            state: initial.len(),
+            n_states: n,
+        });
+    }
+    assert!(t >= 0.0, "time must be non-negative");
+    assert!(tol > 0.0, "tolerance must be positive");
+
+    if t == 0.0 {
+        return Ok(initial.to_vec());
+    }
+    let lambda = ctmc.max_exit_rate().max(1e-300);
+    let lt = lambda * t;
+
+    // Poisson(lt) weights computed incrementally in a numerically safe way:
+    // start from log weight of term 0 and multiply.
+    let mut term: Vec<f64> = initial.to_vec(); // pi0 * P^k
+    let mut next = vec![0.0_f64; n];
+    let mut result = vec![0.0_f64; n];
+
+    // log Poisson pmf at k=0 is -lt; accumulate in linear space with
+    // rescaling via logs when lt is large.
+    let mut log_weight = -lt; // ln of Poisson(lt; 0)
+    let mut covered = 0.0_f64;
+    for k in 0..MAX_TERMS {
+        let w = log_weight.exp();
+        if w > 0.0 {
+            for (r, &v) in result.iter_mut().zip(term.iter()) {
+                *r += w * v;
+            }
+            covered += w;
+        }
+        // Two stopping rules. The direct one compares accumulated mass to
+        // 1 - tol; but for large Λt the sum of ~Λt weights carries O(Λt·ε)
+        // rounding error, so the coverage test alone can stall. Past the
+        // Poisson mode the weights decay geometrically with ratio
+        // r = Λt/(k+1) < 1, giving the provable tail bound w·r/(1−r).
+        let kf = (k + 1) as f64;
+        let tail_bounded = kf > lt && {
+            let r = lt / kf;
+            w * r / (1.0 - r) < tol
+        };
+        if covered >= 1.0 - tol || tail_bounded {
+            // Renormalize the truncation loss (and accumulated rounding).
+            let total: f64 = result.iter().sum();
+            if total > 0.0 {
+                for r in &mut result {
+                    *r /= total;
+                }
+            }
+            return Ok(result);
+        }
+        // term <- term * P = term + (term * Q) / lambda
+        next.copy_from_slice(&term);
+        for tr in ctmc.transitions() {
+            let flow = term[tr.from] * tr.rate / lambda;
+            next[tr.from] -= flow;
+            next[tr.to] += flow;
+        }
+        std::mem::swap(&mut term, &mut next);
+        log_weight += lt.ln() - kf.ln();
+    }
+    Err(MarkovError::NoConvergence {
+        iterations: MAX_TERMS,
+        residual: 1.0 - covered,
+    })
+}
+
+/// Expected accumulated reward `E[∫₀ᵗ reward(X_s) ds]`.
+///
+/// With reward 1 on down states this is the expected downtime during the
+/// interval `[0, t]` — the transient analogue of annual downtime.
+/// Evaluated by numerically integrating [`distribution_at`] with Simpson's
+/// rule over `steps` panels (use a few hundred for smooth models).
+///
+/// # Errors
+///
+/// Propagates errors from [`distribution_at`].
+///
+/// # Panics
+///
+/// Panics if `steps` is zero or `reward.len() != n_states`.
+pub fn accumulated_reward(
+    ctmc: &Ctmc,
+    initial: &[f64],
+    reward: &[f64],
+    t: f64,
+    steps: usize,
+    tol: f64,
+) -> Result<f64, MarkovError> {
+    assert!(steps > 0, "steps must be positive");
+    assert_eq!(reward.len(), ctmc.n_states(), "reward length mismatch");
+    let h = t / steps as f64;
+    let eval = |time: f64| -> Result<f64, MarkovError> {
+        let p = distribution_at(ctmc, initial, time, tol)?;
+        Ok(p.iter().zip(reward.iter()).map(|(a, b)| a * b).sum())
+    };
+    // Composite Simpson over 2*steps sub-intervals.
+    let mut total = eval(0.0)? + eval(t)?;
+    for i in 1..(2 * steps) {
+        let time = t * i as f64 / (2.0 * steps as f64);
+        let coeff = if i % 2 == 1 { 4.0 } else { 2.0 };
+        total += coeff * eval(time)?;
+    }
+    Ok(total * (h / 2.0) / 3.0)
+}
+
+/// Mean time to absorption starting from `start`, for a chain whose
+/// `absorbing` states have no outgoing transitions.
+///
+/// Solves the standard first-passage linear system
+/// `τ_s = (1 + Σ_j q_{sj} τ_j) / exit_s` for transient states via
+/// Gauss–Seidel iteration (the availability models' MTTF chains are small
+/// and diagonally dominant, so this converges fast).
+///
+/// # Errors
+///
+/// Returns [`MarkovError::Reducible`] if some transient state cannot reach
+/// an absorbing state (infinite expected time), or
+/// [`MarkovError::NoConvergence`] on iteration failure.
+///
+/// # Panics
+///
+/// Panics if `start` is out of range.
+pub fn mean_time_to_absorption(
+    ctmc: &Ctmc,
+    start: usize,
+    absorbing: &[bool],
+) -> Result<f64, MarkovError> {
+    let n = ctmc.n_states();
+    assert!(start < n, "start state out of range");
+    assert_eq!(absorbing.len(), n, "absorbing mask length mismatch");
+    if absorbing[start] {
+        return Ok(0.0);
+    }
+    // Check every transient state can reach absorption (otherwise infinite).
+    // Backward reachability from absorbing set.
+    let mut reach = absorbing.to_vec();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for s in 0..n {
+            if reach[s] {
+                continue;
+            }
+            if ctmc.outgoing(s).iter().any(|&(to, r)| r > 0.0 && reach[to]) {
+                reach[s] = true;
+                changed = true;
+            }
+        }
+    }
+    if !reach[start] {
+        return Err(MarkovError::Reducible { state: start });
+    }
+
+    let mut tau = vec![0.0_f64; n];
+    let max_iter = 2_000_000;
+    for _ in 0..max_iter {
+        let mut delta = 0.0_f64;
+        for s in 0..n {
+            if absorbing[s] || !reach[s] {
+                continue;
+            }
+            let exit = ctmc.exit_rate(s);
+            if exit <= 0.0 {
+                return Err(MarkovError::Reducible { state: s });
+            }
+            let mut acc = 1.0;
+            for &(to, r) in ctmc.outgoing(s) {
+                if !absorbing[to] {
+                    acc += r * tau[to];
+                }
+            }
+            let v = acc / exit;
+            delta = delta.max((v - tau[s]).abs() / v.max(1e-300));
+            tau[s] = v;
+        }
+        if delta < 1e-13 {
+            return Ok(tau[start]);
+        }
+    }
+    Err(MarkovError::NoConvergence {
+        iterations: max_iter,
+        residual: f64::NAN,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CtmcBuilder;
+
+    #[test]
+    fn distribution_at_zero_is_initial() {
+        let mut b = CtmcBuilder::new(2);
+        b.rate(0, 1, 1.0).rate(1, 0, 1.0);
+        let c = b.build().unwrap();
+        let p = distribution_at(&c, &[0.3, 0.7], 0.0, 1e-12).unwrap();
+        assert_eq!(p, vec![0.3, 0.7]);
+    }
+
+    #[test]
+    fn two_state_matches_closed_form() {
+        // p0(t) for 0->1 rate a, 1->0 rate b starting in 0:
+        // p0(t) = b/(a+b) + a/(a+b) e^{-(a+b)t}
+        let (a, b_) = (0.7, 0.3);
+        let mut bld = CtmcBuilder::new(2);
+        bld.rate(0, 1, a).rate(1, 0, b_);
+        let c = bld.build().unwrap();
+        for t in [0.1, 0.5, 1.0, 3.0, 10.0] {
+            let p = distribution_at(&c, &[1.0, 0.0], t, 1e-13).unwrap();
+            let expect = b_ / (a + b_) + a / (a + b_) * (-(a + b_) * t).exp();
+            assert!((p[0] - expect).abs() < 1e-9, "t={t}: {} vs {expect}", p[0]);
+        }
+    }
+
+    #[test]
+    fn long_horizon_converges_to_steady_state() {
+        let mut b = CtmcBuilder::new(3);
+        b.rate(0, 1, 1.0)
+            .rate(1, 2, 0.5)
+            .rate(2, 0, 0.25)
+            .rate(1, 0, 0.5);
+        let c = b.build().unwrap();
+        let pt = distribution_at(&c, &[1.0, 0.0, 0.0], 500.0, 1e-13).unwrap();
+        let pi = crate::DenseSolver::new().steady_state(&c).unwrap();
+        use crate::SteadyStateSolver;
+        for (a, b) in pt.iter().zip(pi.iter()) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn accumulated_reward_integrates_downtime() {
+        // Machine starting up: expected downtime over [0,t] approaches
+        // unavailability * t for large t.
+        let (lambda, mu) = (0.1, 1.0);
+        let mut b = CtmcBuilder::new(2);
+        b.rate(0, 1, lambda).rate(1, 0, mu);
+        let c = b.build().unwrap();
+        let t = 200.0;
+        let downtime = accumulated_reward(&c, &[1.0, 0.0], &[0.0, 1.0], t, 200, 1e-10).unwrap();
+        let unavail = lambda / (lambda + mu);
+        // Starting in the up state, accumulated downtime lags the steady
+        // value by roughly the relaxation time; accept 1% on this horizon.
+        assert!(
+            (downtime - unavail * t).abs() < 0.01 * unavail * t + 1.0,
+            "downtime={downtime}, expect ~{}",
+            unavail * t
+        );
+    }
+
+    #[test]
+    fn mtta_of_pure_death_chain() {
+        // 2 -> 1 -> 0(absorbing) with rate mu each: MTTA = 1/mu + 1/mu.
+        let mut b = CtmcBuilder::new(3);
+        b.rate(2, 1, 0.5).rate(1, 0, 0.5);
+        let c = b.build_lenient().unwrap();
+        let mtta = mean_time_to_absorption(&c, 2, &[true, false, false]).unwrap();
+        assert!((mtta - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mtta_machine_with_repair() {
+        // States: 0 = both up, 1 = one down, 2 = both down (absorbing).
+        // MTTF of a duplexed pair with repair: known closed form
+        // (3λ + μ) / (2λ²) for failure rate λ each and repair μ.
+        let (lambda, mu) = (0.01, 1.0);
+        let mut b = CtmcBuilder::new(3);
+        b.rate(0, 1, 2.0 * lambda).rate(1, 0, mu).rate(1, 2, lambda);
+        let c = b.build_lenient().unwrap();
+        let mtta = mean_time_to_absorption(&c, 0, &[false, false, true]).unwrap();
+        let expect = (3.0 * lambda + mu) / (2.0 * lambda * lambda);
+        assert!(
+            (mtta - expect).abs() / expect < 1e-9,
+            "mtta={mtta} expect={expect}"
+        );
+    }
+
+    #[test]
+    fn mtta_from_absorbing_state_is_zero() {
+        let mut b = CtmcBuilder::new(2);
+        b.rate(0, 1, 1.0);
+        let c = b.build_lenient().unwrap();
+        assert_eq!(mean_time_to_absorption(&c, 1, &[false, true]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn mtta_unreachable_absorption_is_error() {
+        // State 0 <-> 1, absorbing state 2 unreachable from them.
+        let mut b = CtmcBuilder::new(3);
+        b.rate(0, 1, 1.0).rate(1, 0, 1.0);
+        let c = b.build_lenient().unwrap();
+        assert!(mean_time_to_absorption(&c, 0, &[false, false, true]).is_err());
+    }
+}

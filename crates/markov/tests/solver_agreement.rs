@@ -1,0 +1,161 @@
+//! Integration tests: the three steady-state solvers must agree with each
+//! other — and with theory — across structured chain families.
+
+use aved_markov::{
+    birth_death, transient, Ctmc, CtmcBuilder, DenseSolver, GaussSeidelSolver, PowerSolver,
+    SteadyStateSolver,
+};
+use proptest::prelude::*;
+
+fn all_solvers() -> Vec<(&'static str, Box<dyn SteadyStateSolver>)> {
+    vec![
+        ("dense", Box::new(DenseSolver::new())),
+        ("gauss-seidel", Box::new(GaussSeidelSolver::default())),
+        ("power", Box::new(PowerSolver::new(1e-14, 5_000_000))),
+    ]
+}
+
+fn assert_all_agree(ctmc: &Ctmc, tol: f64) -> Vec<f64> {
+    let reference = DenseSolver::new().steady_state(ctmc).unwrap();
+    for (name, solver) in all_solvers() {
+        let pi = solver.steady_state(ctmc).unwrap();
+        assert_eq!(pi.len(), reference.len());
+        for (i, (a, b)) in reference.iter().zip(pi.iter()).enumerate() {
+            assert!(
+                (a - b).abs() < tol,
+                "{name} disagrees at state {i}: {a} vs {b}"
+            );
+        }
+        let sum: f64 = pi.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "{name} not normalized: {sum}");
+    }
+    reference
+}
+
+/// Machine-repairman chain: N machines, R repair crews.
+fn repairman(n: usize, crews: usize, lambda: f64, mu: f64) -> Ctmc {
+    let mut b = CtmcBuilder::new(n + 1);
+    for k in 0..n {
+        b.rate(k, k + 1, (n - k) as f64 * lambda);
+        b.rate(k + 1, k, (k + 1).min(crews) as f64 * mu);
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn repairman_chains_agree_across_solvers() {
+    for (n, crews) in [(5, 1), (5, 5), (40, 3)] {
+        let ctmc = repairman(n, crews, 0.02, 1.0);
+        assert_all_agree(&ctmc, 1e-9);
+    }
+}
+
+#[test]
+fn per_unit_repair_matches_birth_death_closed_form() {
+    let (n, lambda, mu) = (12, 0.05, 2.0);
+    let ctmc = repairman(n, n, lambda, mu);
+    let pi = assert_all_agree(&ctmc, 1e-9);
+    let births: Vec<f64> = (0..n).map(|k| (n - k) as f64 * lambda).collect();
+    let deaths: Vec<f64> = (0..n).map(|k| (k + 1) as f64 * mu).collect();
+    let closed = birth_death::steady_state(&births, &deaths).unwrap();
+    for (a, b) in pi.iter().zip(closed.iter()) {
+        assert!((a - b).abs() < 1e-10);
+    }
+}
+
+/// A two-dimensional chain (tandem repair queues) exercises non-birth-death
+/// structure: state (i, j) with 0 <= i, j <= c.
+fn tandem(c: usize, a: f64, s1: f64, s2: f64) -> Ctmc {
+    let idx = |i: usize, j: usize| i * (c + 1) + j;
+    let mut b = CtmcBuilder::new((c + 1) * (c + 1));
+    for i in 0..=c {
+        for j in 0..=c {
+            if i < c {
+                b.rate(idx(i, j), idx(i + 1, j), a); // arrival to stage 1
+            }
+            if i > 0 && j < c {
+                b.rate(idx(i, j), idx(i - 1, j + 1), s1); // move to stage 2
+            }
+            if j > 0 {
+                b.rate(idx(i, j), idx(i, j - 1), s2); // departure
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn tandem_queue_chain_agrees_across_solvers() {
+    let ctmc = tandem(4, 0.8, 1.2, 1.0);
+    assert_eq!(ctmc.n_states(), 25);
+    assert_all_agree(&ctmc, 1e-8);
+}
+
+#[test]
+fn transient_distribution_converges_to_every_solver() {
+    let ctmc = tandem(3, 0.5, 1.0, 0.9);
+    let mut initial = vec![0.0; ctmc.n_states()];
+    initial[0] = 1.0;
+    let at_t = transient::distribution_at(&ctmc, &initial, 2000.0, 1e-12).unwrap();
+    let steady = GaussSeidelSolver::default().steady_state(&ctmc).unwrap();
+    for (a, b) in at_t.iter().zip(steady.iter()) {
+        assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+    }
+}
+
+#[test]
+fn transient_handles_large_uniformization_products() {
+    // Fast rates over a long horizon: Λt ~ 1e5. The Poisson tail bound
+    // must terminate the sum despite accumulated rounding in the coverage
+    // test.
+    let mut b = CtmcBuilder::new(2);
+    b.rate(0, 1, 2.0).rate(1, 0, 100.0);
+    let ctmc = b.build().unwrap();
+    let p = transient::distribution_at(&ctmc, &[1.0, 0.0], 1000.0, 1e-10).unwrap();
+    let expect0 = 100.0 / 102.0;
+    assert!((p[0] - expect0).abs() < 1e-8);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random strongly-connected chains: all solvers agree.
+    #[test]
+    fn random_chains_agree(
+        n in 2_usize..20,
+        rates in proptest::collection::vec(0.01_f64..50.0, 3 * 20),
+    ) {
+        let mut b = CtmcBuilder::new(n);
+        for i in 0..n {
+            b.rate(i, (i + 1) % n, rates[i]);
+            b.rate((i + 1) % n, i, rates[n + i]);
+            let chord = (i * 5 + 2) % n;
+            if chord != i {
+                b.rate(i, chord, rates[2 * n + i]);
+            }
+        }
+        let ctmc = b.build().unwrap();
+        assert_all_agree(&ctmc, 1e-7);
+    }
+
+    /// Stationarity: starting *from* the stationary distribution, the
+    /// transient distribution does not move.
+    #[test]
+    fn stationary_distribution_is_a_fixed_point(
+        n in 2_usize..8,
+        rates in proptest::collection::vec(0.1_f64..10.0, 2 * 8),
+        t in 0.1_f64..50.0,
+    ) {
+        let mut b = CtmcBuilder::new(n);
+        for i in 0..n {
+            b.rate(i, (i + 1) % n, rates[i]);
+            b.rate((i + 1) % n, i, rates[n + i]);
+        }
+        let ctmc = b.build().unwrap();
+        let pi = DenseSolver::new().steady_state(&ctmc).unwrap();
+        let moved = transient::distribution_at(&ctmc, &pi, t, 1e-12).unwrap();
+        for (a, b) in pi.iter().zip(moved.iter()) {
+            prop_assert!((a - b).abs() < 1e-8);
+        }
+    }
+}

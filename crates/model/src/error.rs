@@ -1,0 +1,190 @@
+//! Validation errors for the design-space model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while validating an infrastructure or service model, or
+/// while resolving a design against them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A resource refers to a component type that is not defined.
+    UnknownComponent {
+        /// The resource doing the referencing.
+        resource: String,
+        /// The missing component name.
+        component: String,
+    },
+    /// A component's `mttr` or `loss_window` references an undefined
+    /// mechanism.
+    UnknownMechanism {
+        /// Where the reference occurred.
+        context: String,
+        /// The missing mechanism name.
+        mechanism: String,
+    },
+    /// A service tier option refers to an undefined resource type.
+    UnknownResource {
+        /// The tier doing the referencing.
+        tier: String,
+        /// The missing resource type name.
+        resource: String,
+    },
+    /// A `depend=` clause references a component not present in the same
+    /// resource.
+    UnknownDependency {
+        /// The resource being validated.
+        resource: String,
+        /// The component whose dependency is dangling.
+        component: String,
+        /// The missing dependency name.
+        dependency: String,
+    },
+    /// Component dependencies within a resource form a cycle.
+    DependencyCycle {
+        /// The resource with the cyclic dependencies.
+        resource: String,
+    },
+    /// A mechanism effect table has a different length than its parameter's
+    /// range.
+    EffectTableMismatch {
+        /// The mechanism being validated.
+        mechanism: String,
+        /// The parameter driving the table.
+        param: String,
+        /// Entries in the range.
+        range_len: usize,
+        /// Entries in the table.
+        table_len: usize,
+    },
+    /// A mechanism effect references an unknown parameter.
+    UnknownParameter {
+        /// The mechanism being validated.
+        mechanism: String,
+        /// The missing parameter name.
+        param: String,
+    },
+    /// A design supplied a parameter value outside its declared range.
+    ValueOutOfRange {
+        /// The mechanism whose parameter is being set.
+        mechanism: String,
+        /// The parameter.
+        param: String,
+        /// A display of the offending value.
+        value: String,
+    },
+    /// A design is missing a setting for a required mechanism parameter.
+    MissingSetting {
+        /// The mechanism whose parameter is unset.
+        mechanism: String,
+        /// The unset parameter.
+        param: String,
+    },
+    /// A design requests more instances of a component than the
+    /// infrastructure allows (`max_instances`).
+    TooManyInstances {
+        /// The constrained component.
+        component: String,
+        /// The number requested.
+        requested: usize,
+        /// The allowed maximum.
+        allowed: usize,
+    },
+    /// A design's tier count or names do not match the service model.
+    TierMismatch {
+        /// Explanation of the mismatch.
+        detail: String,
+    },
+    /// A quantity failed a sanity check (e.g. zero active resources).
+    Invalid {
+        /// Explanation.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnknownComponent {
+                resource,
+                component,
+            } => write!(f, "resource {resource} references unknown component {component}"),
+            ModelError::UnknownMechanism { context, mechanism } => {
+                write!(f, "{context} references unknown mechanism {mechanism}")
+            }
+            ModelError::UnknownResource { tier, resource } => {
+                write!(f, "tier {tier} references unknown resource type {resource}")
+            }
+            ModelError::UnknownDependency {
+                resource,
+                component,
+                dependency,
+            } => write!(
+                f,
+                "component {component} in resource {resource} depends on unknown component {dependency}"
+            ),
+            ModelError::DependencyCycle { resource } => {
+                write!(f, "component dependencies in resource {resource} form a cycle")
+            }
+            ModelError::EffectTableMismatch {
+                mechanism,
+                param,
+                range_len,
+                table_len,
+            } => write!(
+                f,
+                "mechanism {mechanism}: effect table over parameter {param} has {table_len} entries but the range has {range_len}"
+            ),
+            ModelError::UnknownParameter { mechanism, param } => {
+                write!(f, "mechanism {mechanism} references unknown parameter {param}")
+            }
+            ModelError::ValueOutOfRange {
+                mechanism,
+                param,
+                value,
+            } => write!(
+                f,
+                "value {value} is outside the range of parameter {param} of mechanism {mechanism}"
+            ),
+            ModelError::MissingSetting { mechanism, param } => {
+                write!(f, "design does not set parameter {param} of mechanism {mechanism}")
+            }
+            ModelError::TooManyInstances {
+                component,
+                requested,
+                allowed,
+            } => write!(
+                f,
+                "design uses {requested} instances of component {component}, more than the allowed {allowed}"
+            ),
+            ModelError::TierMismatch { detail } => write!(f, "tier mismatch: {detail}"),
+            ModelError::Invalid { detail } => write!(f, "invalid model: {detail}"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_participants() {
+        let err = ModelError::UnknownComponent {
+            resource: "rA".into(),
+            component: "machineZ".into(),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("rA") && msg.contains("machineZ"));
+
+        let err = ModelError::EffectTableMismatch {
+            mechanism: "maintenanceA".into(),
+            param: "level".into(),
+            range_len: 4,
+            table_len: 3,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains('4') && msg.contains('3'));
+    }
+}

@@ -1,0 +1,136 @@
+//! High-level service requirements (paper §2).
+
+use aved_units::Duration;
+use serde::{Deserialize, Serialize};
+
+/// What the user asks of the design engine.
+///
+/// Enterprise services that serve requests indefinitely specify a minimum
+/// throughput (in service-specific units of load) and a maximum annual
+/// downtime. Finite jobs specify only a maximum expected completion time —
+/// availability metrics influence completion time but are not themselves
+/// requirements.
+///
+/// # Examples
+///
+/// ```
+/// use aved_model::ServiceRequirement;
+/// use aved_units::Duration;
+///
+/// let req = ServiceRequirement::enterprise(1000.0, Duration::from_mins(100.0));
+/// assert!(req.min_throughput().is_some());
+///
+/// let job = ServiceRequirement::job(Duration::from_hours(20.0));
+/// assert!(job.max_execution_time().is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServiceRequirement {
+    /// Throughput + annual-downtime thresholds for an always-on service.
+    Enterprise {
+        /// Minimum sustained throughput, in the service's units of load.
+        min_throughput: f64,
+        /// Maximum tolerated expected downtime per year.
+        max_annual_downtime: Duration,
+    },
+    /// Completion-time threshold for a finite job.
+    Job {
+        /// Maximum tolerated expected job execution time.
+        max_execution_time: Duration,
+    },
+}
+
+impl ServiceRequirement {
+    /// Creates an enterprise requirement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_throughput` is not positive.
+    #[must_use]
+    pub fn enterprise(min_throughput: f64, max_annual_downtime: Duration) -> ServiceRequirement {
+        assert!(
+            min_throughput > 0.0,
+            "throughput requirement must be positive"
+        );
+        ServiceRequirement::Enterprise {
+            min_throughput,
+            max_annual_downtime,
+        }
+    }
+
+    /// Creates a job requirement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_execution_time` is zero.
+    #[must_use]
+    pub fn job(max_execution_time: Duration) -> ServiceRequirement {
+        assert!(
+            !max_execution_time.is_zero(),
+            "execution time requirement must be positive"
+        );
+        ServiceRequirement::Job { max_execution_time }
+    }
+
+    /// The throughput requirement, for enterprise services.
+    #[must_use]
+    pub fn min_throughput(&self) -> Option<f64> {
+        match self {
+            ServiceRequirement::Enterprise { min_throughput, .. } => Some(*min_throughput),
+            ServiceRequirement::Job { .. } => None,
+        }
+    }
+
+    /// The downtime requirement, for enterprise services.
+    #[must_use]
+    pub fn max_annual_downtime(&self) -> Option<Duration> {
+        match self {
+            ServiceRequirement::Enterprise {
+                max_annual_downtime,
+                ..
+            } => Some(*max_annual_downtime),
+            ServiceRequirement::Job { .. } => None,
+        }
+    }
+
+    /// The completion-time requirement, for jobs.
+    #[must_use]
+    pub fn max_execution_time(&self) -> Option<Duration> {
+        match self {
+            ServiceRequirement::Enterprise { .. } => None,
+            ServiceRequirement::Job { max_execution_time } => Some(*max_execution_time),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enterprise_accessors() {
+        let r = ServiceRequirement::enterprise(400.0, Duration::from_mins(10.0));
+        assert_eq!(r.min_throughput(), Some(400.0));
+        assert_eq!(r.max_annual_downtime(), Some(Duration::from_mins(10.0)));
+        assert_eq!(r.max_execution_time(), None);
+    }
+
+    #[test]
+    fn job_accessors() {
+        let r = ServiceRequirement::job(Duration::from_hours(100.0));
+        assert_eq!(r.min_throughput(), None);
+        assert_eq!(r.max_annual_downtime(), None);
+        assert_eq!(r.max_execution_time(), Some(Duration::from_hours(100.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_throughput_panics() {
+        let _ = ServiceRequirement::enterprise(0.0, Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_execution_time_panics() {
+        let _ = ServiceRequirement::job(Duration::ZERO);
+    }
+}

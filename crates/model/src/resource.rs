@@ -1,0 +1,415 @@
+//! Resource types: component compositions with dependencies (paper §3.1.3).
+
+use aved_units::Duration;
+use serde::{Deserialize, Serialize};
+
+use crate::{ComponentName, ModelError, ResourceTypeName};
+
+/// The operational mode of a component instance in a design.
+///
+/// Active components do work (and incur their active cost and failure
+/// exposure); inactive components are powered off or unlicensed (cheaper,
+/// assumed not to fail, but must be started during failover).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OperationalMode {
+    /// Powered off / unlicensed.
+    Inactive,
+    /// Running.
+    Active,
+}
+
+impl std::fmt::Display for OperationalMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            OperationalMode::Inactive => "inactive",
+            OperationalMode::Active => "active",
+        })
+    }
+}
+
+/// One component slot within a resource type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceComponent {
+    component: ComponentName,
+    depends_on: Option<ComponentName>,
+    startup: Duration,
+}
+
+impl ResourceComponent {
+    /// Creates a component slot.
+    ///
+    /// `depends_on` is the name of another component *in the same resource*
+    /// that must be started first and whose failure brings this component
+    /// down too (`None` for root components such as the hardware).
+    pub fn new<C: Into<ComponentName>>(
+        component: C,
+        depends_on: Option<ComponentName>,
+        startup: Duration,
+    ) -> ResourceComponent {
+        ResourceComponent {
+            component: component.into(),
+            depends_on,
+            startup,
+        }
+    }
+
+    /// The component type occupying this slot.
+    #[must_use]
+    pub fn component(&self) -> &ComponentName {
+        &self.component
+    }
+
+    /// The component this slot depends on, if any.
+    #[must_use]
+    pub fn depends_on(&self) -> Option<&ComponentName> {
+        self.depends_on.as_ref()
+    }
+
+    /// The startup latency of this component.
+    #[must_use]
+    pub fn startup(&self) -> Duration {
+        self.startup
+    }
+}
+
+/// A resource type: the basic unit of allocation to a service.
+///
+/// A resource is a combination of components (e.g. `machineA` + `linux` +
+/// `webserver`) with startup latencies and dependencies. Dependencies
+/// define the start order and the failure blast radius: a component's
+/// failure also brings down every component that transitively depends on
+/// it (paper: "a hardware failure causes the operating system to fail as
+/// well").
+///
+/// # Examples
+///
+/// ```
+/// use aved_model::{ResourceType, ResourceComponent};
+/// use aved_units::Duration;
+///
+/// let r_a = ResourceType::new("rA", Duration::ZERO)
+///     .with_component(ResourceComponent::new("machineA", None, Duration::from_secs(30.0)))
+///     .with_component(ResourceComponent::new(
+///         "linux",
+///         Some("machineA".into()),
+///         Duration::from_mins(2.0),
+///     ))
+///     .with_component(ResourceComponent::new(
+///         "webserver",
+///         Some("linux".into()),
+///         Duration::from_secs(30.0),
+///     ));
+/// // A machineA failure takes down all three components; restarting them
+/// // sequentially costs 30s + 2m + 30s.
+/// assert_eq!(r_a.restart_time_after(0).minutes(), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceType {
+    name: ResourceTypeName,
+    reconfig_time: Duration,
+    components: Vec<ResourceComponent>,
+}
+
+impl ResourceType {
+    /// Creates a resource type with the given failover reconfiguration time
+    /// (load-balancer updates, data transfer to the spare).
+    pub fn new<N: Into<ResourceTypeName>>(name: N, reconfig_time: Duration) -> ResourceType {
+        ResourceType {
+            name: name.into(),
+            reconfig_time,
+            components: Vec::new(),
+        }
+    }
+
+    /// Appends a component slot. Slots must be listed in an order where
+    /// dependencies precede dependents (as the paper's specifications do);
+    /// [`validate`](Self::validate) checks this.
+    #[must_use]
+    pub fn with_component(mut self, c: ResourceComponent) -> ResourceType {
+        self.components.push(c);
+        self
+    }
+
+    /// The resource type's name.
+    #[must_use]
+    pub fn name(&self) -> &ResourceTypeName {
+        &self.name
+    }
+
+    /// Failover reconfiguration time.
+    #[must_use]
+    pub fn reconfig_time(&self) -> Duration {
+        self.reconfig_time
+    }
+
+    /// The component slots, in declaration (startup) order.
+    #[must_use]
+    pub fn components(&self) -> &[ResourceComponent] {
+        &self.components
+    }
+
+    /// Index of the slot holding `component`, if present.
+    #[must_use]
+    pub fn component_index(&self, component: &str) -> Option<usize> {
+        self.components
+            .iter()
+            .position(|c| c.component().as_str() == component)
+    }
+
+    /// Validates the dependency structure: every dependency must name an
+    /// *earlier* slot in the list (which also rules out cycles and
+    /// self-dependencies).
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::UnknownDependency`] for a dangling reference,
+    /// [`ModelError::DependencyCycle`] if a dependency names a later slot
+    /// (a forward reference would allow cycles), and
+    /// [`ModelError::Invalid`] for an empty resource.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.components.is_empty() {
+            return Err(ModelError::Invalid {
+                detail: format!("resource {} has no components", self.name),
+            });
+        }
+        for (i, slot) in self.components.iter().enumerate() {
+            if let Some(dep) = slot.depends_on() {
+                match self.component_index(dep.as_str()) {
+                    None => {
+                        return Err(ModelError::UnknownDependency {
+                            resource: self.name.to_string(),
+                            component: slot.component().to_string(),
+                            dependency: dep.to_string(),
+                        })
+                    }
+                    Some(j) if j >= i => {
+                        return Err(ModelError::DependencyCycle {
+                            resource: self.name.to_string(),
+                        })
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The slots affected by a failure of slot `failed`: the slot itself
+    /// plus every transitive dependent, in startup order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `failed` is out of range.
+    #[must_use]
+    pub fn affected_by(&self, failed: usize) -> Vec<usize> {
+        assert!(failed < self.components.len(), "slot index out of range");
+        let mut affected = vec![false; self.components.len()];
+        affected[failed] = true;
+        // Single forward pass suffices because dependencies point backward.
+        for (i, slot) in self.components.iter().enumerate() {
+            if affected[i] {
+                continue;
+            }
+            if let Some(dep) = slot.depends_on() {
+                if let Some(j) = self.component_index(dep.as_str()) {
+                    if affected[j] {
+                        affected[i] = true;
+                    }
+                }
+            }
+        }
+        affected
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| a.then_some(i))
+            .collect()
+    }
+
+    /// Total sequential restart time after a failure of slot `failed`: the
+    /// sum of the startup latencies of the failed component and all its
+    /// transitive dependents (paper §4.2, MTTR definition).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `failed` is out of range.
+    #[must_use]
+    pub fn restart_time_after(&self, failed: usize) -> Duration {
+        self.affected_by(failed)
+            .into_iter()
+            .map(|i| self.components[i].startup())
+            .sum()
+    }
+
+    /// Total sequential startup time of the whole resource (all components
+    /// from cold), used for failover from fully-inactive spares.
+    #[must_use]
+    pub fn full_startup_time(&self) -> Duration {
+        self.components.iter().map(ResourceComponent::startup).sum()
+    }
+
+    /// Startup time of only those slots marked inactive in `modes`, used
+    /// for failover time with partially-active spares (paper §4.2:
+    /// "startup latencies of components that are in inactive operational
+    /// mode in the spare resource").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modes.len()` differs from the number of slots.
+    #[must_use]
+    pub fn inactive_startup_time(&self, modes: &[OperationalMode]) -> Duration {
+        assert_eq!(
+            modes.len(),
+            self.components.len(),
+            "one mode per component slot required"
+        );
+        self.components
+            .iter()
+            .zip(modes.iter())
+            .filter(|(_, &m)| m == OperationalMode::Inactive)
+            .map(|(c, _)| c.startup())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r_a() -> ResourceType {
+        ResourceType::new("rA", Duration::ZERO)
+            .with_component(ResourceComponent::new(
+                "machineA",
+                None,
+                Duration::from_secs(30.0),
+            ))
+            .with_component(ResourceComponent::new(
+                "linux",
+                Some("machineA".into()),
+                Duration::from_mins(2.0),
+            ))
+            .with_component(ResourceComponent::new(
+                "webserver",
+                Some("linux".into()),
+                Duration::from_secs(30.0),
+            ))
+    }
+
+    #[test]
+    fn validates_paper_resource() {
+        assert!(r_a().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_dangling_dependency() {
+        let r = ResourceType::new("bad", Duration::ZERO).with_component(ResourceComponent::new(
+            "linux",
+            Some("machineZ".into()),
+            Duration::ZERO,
+        ));
+        assert!(matches!(
+            r.validate(),
+            Err(ModelError::UnknownDependency { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_forward_dependency() {
+        let r = ResourceType::new("bad", Duration::ZERO)
+            .with_component(ResourceComponent::new(
+                "linux",
+                Some("machineA".into()),
+                Duration::ZERO,
+            ))
+            .with_component(ResourceComponent::new("machineA", None, Duration::ZERO));
+        assert!(matches!(
+            r.validate(),
+            Err(ModelError::DependencyCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_self_dependency() {
+        let r = ResourceType::new("bad", Duration::ZERO).with_component(ResourceComponent::new(
+            "linux",
+            Some("linux".into()),
+            Duration::ZERO,
+        ));
+        assert!(matches!(
+            r.validate(),
+            Err(ModelError::DependencyCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_resource() {
+        let r = ResourceType::new("empty", Duration::ZERO);
+        assert!(matches!(r.validate(), Err(ModelError::Invalid { .. })));
+    }
+
+    #[test]
+    fn hardware_failure_affects_everything() {
+        assert_eq!(r_a().affected_by(0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn os_failure_spares_hardware() {
+        assert_eq!(r_a().affected_by(1), vec![1, 2]);
+        // restart linux (2m) + webserver (30s)
+        assert_eq!(r_a().restart_time_after(1), Duration::from_secs(150.0));
+    }
+
+    #[test]
+    fn leaf_failure_affects_only_itself() {
+        assert_eq!(r_a().affected_by(2), vec![2]);
+        assert_eq!(r_a().restart_time_after(2), Duration::from_secs(30.0));
+    }
+
+    #[test]
+    fn diamond_free_branches_are_independent() {
+        // machineA <- linux, machineA <- monitoring: linux failure does not
+        // restart monitoring.
+        let r = ResourceType::new("branchy", Duration::ZERO)
+            .with_component(ResourceComponent::new(
+                "machineA",
+                None,
+                Duration::from_secs(30.0),
+            ))
+            .with_component(ResourceComponent::new(
+                "linux",
+                Some("machineA".into()),
+                Duration::from_mins(2.0),
+            ))
+            .with_component(ResourceComponent::new(
+                "monitoring",
+                Some("machineA".into()),
+                Duration::from_secs(10.0),
+            ));
+        assert_eq!(r.affected_by(1), vec![1]);
+        assert_eq!(r.affected_by(0), vec![0, 1, 2]);
+        assert_eq!(
+            r.restart_time_after(0),
+            Duration::from_secs(30.0 + 120.0 + 10.0)
+        );
+    }
+
+    #[test]
+    fn full_and_inactive_startup_times() {
+        let r = r_a();
+        assert_eq!(r.full_startup_time(), Duration::from_mins(3.0));
+        use OperationalMode::{Active, Inactive};
+        assert_eq!(
+            r.inactive_startup_time(&[Active, Inactive, Inactive]),
+            Duration::from_secs(150.0)
+        );
+        assert_eq!(
+            r.inactive_startup_time(&[Active, Active, Active]),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn operational_mode_display() {
+        assert_eq!(OperationalMode::Active.to_string(), "active");
+        assert_eq!(OperationalMode::Inactive.to_string(), "inactive");
+    }
+}

@@ -1,0 +1,453 @@
+//! Service models: tiers and resource options (paper §3.2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{MechanismName, ResourceTypeName, TierName};
+
+/// Whether a tier's size can change during the service's lifetime.
+///
+/// With `Static` sizing (e.g. a scientific application that partitions data
+/// at initialization), the tier needs *all* `n` active resources: the
+/// minimum for the tier to be up is `m = n`. With `Dynamic` sizing (a web
+/// tier), `m` is derived from the performance requirement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Sizing {
+    /// Resource count fixed at deployment.
+    Static,
+    /// Resource count can be adjusted at runtime.
+    Dynamic,
+}
+
+/// The blast radius of a single resource failure within a tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FailureScope {
+    /// Only the failed resource instance is lost.
+    Resource,
+    /// A single resource failure takes the whole tier down (e.g. a tightly
+    /// coupled MPI job).
+    Tier,
+}
+
+/// The allowed values for a tier's number of active resources.
+///
+/// The specification syntax is `nActive=[1-1000,+1]` (arithmetic
+/// progression), `nActive=[1-1024,*2]` (geometric, e.g. power-of-two
+/// parallel decompositions) or `nActive=[1]` (an explicit list).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NActiveSpec {
+    /// `min, min+step, …` up to `max` inclusive.
+    Arithmetic {
+        /// Smallest allowed count.
+        min: u32,
+        /// Largest allowed count.
+        max: u32,
+        /// Additive step (>= 1).
+        step: u32,
+    },
+    /// `min, min·factor, …` up to `max` inclusive.
+    Geometric {
+        /// Smallest allowed count.
+        min: u32,
+        /// Largest allowed count.
+        max: u32,
+        /// Multiplicative factor (>= 2).
+        factor: u32,
+    },
+    /// An explicit list of allowed counts.
+    List(Vec<u32>),
+}
+
+impl NActiveSpec {
+    /// Iterates over the allowed counts in increasing order.
+    pub fn values(&self) -> Box<dyn Iterator<Item = u32> + '_> {
+        match self {
+            NActiveSpec::Arithmetic { min, max, step } => {
+                let (min, max, step) = (*min, *max, (*step).max(1));
+                Box::new((min..=max).step_by(step as usize))
+            }
+            NActiveSpec::Geometric { min, max, factor } => {
+                let (min, max, factor) = (*min, *max, (*factor).max(2));
+                Box::new(std::iter::successors(Some(min), move |&v| {
+                    v.checked_mul(factor).filter(|&n| n <= max)
+                }))
+            }
+            NActiveSpec::List(v) => Box::new(v.iter().copied()),
+        }
+    }
+
+    /// Whether `n` is an allowed count.
+    #[must_use]
+    pub fn contains(&self, n: u32) -> bool {
+        match self {
+            NActiveSpec::Arithmetic { min, max, step } => {
+                n >= *min && n <= *max && (n - min).is_multiple_of(*step.max(&1))
+            }
+            NActiveSpec::Geometric { .. } => self.values().any(|v| v == n),
+            NActiveSpec::List(v) => v.contains(&n),
+        }
+    }
+
+    /// The smallest allowed count `>= n`, if any — the paper's search
+    /// starts from "the minimum number of resources required to meet the
+    /// performance requirement" and this rounds that minimum up into the
+    /// allowed set.
+    #[must_use]
+    pub fn next_at_or_above(&self, n: u32) -> Option<u32> {
+        self.values().find(|&v| v >= n)
+    }
+
+    /// The largest allowed count.
+    #[must_use]
+    pub fn max_value(&self) -> Option<u32> {
+        self.values().last()
+    }
+}
+
+/// Reference to a performance function, resolved against a catalog at
+/// evaluation time.
+///
+/// The specification writes either a constant (`performance=10000`) or a
+/// named table/function (`performance(nActive)=perfA.dat`). This model
+/// keeps the reference symbolic; the `aved-perf` crate supplies catalogs
+/// that resolve names to functions (including the closed forms of the
+/// paper's Table 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PerfRef {
+    /// A constant throughput, independent of `nActive`.
+    Const(f64),
+    /// A named function of `nActive`.
+    Named(String),
+}
+
+/// The use of an availability mechanism by a tier's resource option,
+/// optionally with a service-specific performance-impact function
+/// (`mperformance(storage_location, checkpoint_interval, nActive)=...`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MechanismUse {
+    mechanism: MechanismName,
+    mperformance: Option<String>,
+}
+
+impl MechanismUse {
+    /// Declares that the option uses `mechanism`, with an optional named
+    /// performance-impact function.
+    pub fn new<M: Into<MechanismName>>(mechanism: M, mperformance: Option<String>) -> MechanismUse {
+        MechanismUse {
+            mechanism: mechanism.into(),
+            mperformance,
+        }
+    }
+
+    /// The mechanism being applied.
+    #[must_use]
+    pub fn mechanism(&self) -> &MechanismName {
+        &self.mechanism
+    }
+
+    /// The named mperformance function, if declared.
+    #[must_use]
+    pub fn mperformance(&self) -> Option<&str> {
+        self.mperformance.as_deref()
+    }
+}
+
+/// One candidate resource type for a tier, with its parallelism model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceOption {
+    resource: ResourceTypeName,
+    sizing: Sizing,
+    failure_scope: FailureScope,
+    n_active: NActiveSpec,
+    performance: PerfRef,
+    mechanisms: Vec<MechanismUse>,
+}
+
+impl ResourceOption {
+    /// Creates a resource option.
+    pub fn new<R: Into<ResourceTypeName>>(
+        resource: R,
+        sizing: Sizing,
+        failure_scope: FailureScope,
+        n_active: NActiveSpec,
+        performance: PerfRef,
+    ) -> ResourceOption {
+        ResourceOption {
+            resource: resource.into(),
+            sizing,
+            failure_scope,
+            n_active,
+            performance,
+            mechanisms: Vec::new(),
+        }
+    }
+
+    /// Declares an availability-mechanism use.
+    #[must_use]
+    pub fn with_mechanism(mut self, m: MechanismUse) -> ResourceOption {
+        self.mechanisms.push(m);
+        self
+    }
+
+    /// The candidate resource type.
+    #[must_use]
+    pub fn resource(&self) -> &ResourceTypeName {
+        &self.resource
+    }
+
+    /// The sizing discipline.
+    #[must_use]
+    pub fn sizing(&self) -> Sizing {
+        self.sizing
+    }
+
+    /// The failure scope.
+    #[must_use]
+    pub fn failure_scope(&self) -> FailureScope {
+        self.failure_scope
+    }
+
+    /// Allowed active-resource counts.
+    #[must_use]
+    pub fn n_active(&self) -> &NActiveSpec {
+        &self.n_active
+    }
+
+    /// The performance reference.
+    #[must_use]
+    pub fn performance(&self) -> &PerfRef {
+        &self.performance
+    }
+
+    /// Mechanism uses declared on this option.
+    #[must_use]
+    pub fn mechanisms(&self) -> &[MechanismUse] {
+        &self.mechanisms
+    }
+}
+
+/// A service tier: a cluster of identical resources chosen among options.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tier {
+    name: TierName,
+    options: Vec<ResourceOption>,
+}
+
+impl Tier {
+    /// Creates a tier.
+    pub fn new<N: Into<TierName>>(name: N) -> Tier {
+        Tier {
+            name: name.into(),
+            options: Vec::new(),
+        }
+    }
+
+    /// Adds a candidate resource option.
+    #[must_use]
+    pub fn with_option(mut self, o: ResourceOption) -> Tier {
+        self.options.push(o);
+        self
+    }
+
+    /// The tier's name.
+    #[must_use]
+    pub fn name(&self) -> &TierName {
+        &self.name
+    }
+
+    /// The candidate resource options.
+    #[must_use]
+    pub fn options(&self) -> &[ResourceOption] {
+        &self.options
+    }
+
+    /// Looks up the option using resource type `resource`.
+    #[must_use]
+    pub fn option_for(&self, resource: &str) -> Option<&ResourceOption> {
+        self.options
+            .iter()
+            .find(|o| o.resource().as_str() == resource)
+    }
+}
+
+/// A service or application: a series of tiers, up iff all tiers are up.
+///
+/// Finite jobs (scientific applications) additionally carry a job size in
+/// application-specific units; their requirement is expected completion
+/// time rather than throughput + downtime.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Service {
+    name: String,
+    job_size: Option<f64>,
+    tiers: Vec<Tier>,
+}
+
+impl Service {
+    /// Creates an (enterprise) service with no job size.
+    pub fn new<N: Into<String>>(name: N) -> Service {
+        Service {
+            name: name.into(),
+            job_size: None,
+            tiers: Vec::new(),
+        }
+    }
+
+    /// Declares a finite job size (application-specific units).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not positive.
+    #[must_use]
+    pub fn with_job_size(mut self, size: f64) -> Service {
+        assert!(size > 0.0, "job size must be positive");
+        self.job_size = Some(size);
+        self
+    }
+
+    /// Adds a tier.
+    #[must_use]
+    pub fn with_tier(mut self, t: Tier) -> Service {
+        self.tiers.push(t);
+        self
+    }
+
+    /// The service name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The job size, for finite applications.
+    #[must_use]
+    pub fn job_size(&self) -> Option<f64> {
+        self.job_size
+    }
+
+    /// The tiers, in series.
+    #[must_use]
+    pub fn tiers(&self) -> &[Tier] {
+        &self.tiers
+    }
+
+    /// Looks up a tier by name.
+    #[must_use]
+    pub fn tier(&self, name: &str) -> Option<&Tier> {
+        self.tiers.iter().find(|t| t.name().as_str() == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_spec_enumerates() {
+        let s = NActiveSpec::Arithmetic {
+            min: 1,
+            max: 7,
+            step: 2,
+        };
+        assert_eq!(s.values().collect::<Vec<_>>(), vec![1, 3, 5, 7]);
+        assert!(s.contains(5));
+        assert!(!s.contains(4));
+        assert!(!s.contains(9));
+        assert_eq!(s.next_at_or_above(4), Some(5));
+        assert_eq!(s.next_at_or_above(8), None);
+        assert_eq!(s.max_value(), Some(7));
+    }
+
+    #[test]
+    fn geometric_spec_enumerates_powers() {
+        let s = NActiveSpec::Geometric {
+            min: 1,
+            max: 20,
+            factor: 2,
+        };
+        assert_eq!(s.values().collect::<Vec<_>>(), vec![1, 2, 4, 8, 16]);
+        assert!(s.contains(8));
+        assert!(!s.contains(6));
+        assert_eq!(s.next_at_or_above(5), Some(8));
+    }
+
+    #[test]
+    fn geometric_spec_no_overflow() {
+        let s = NActiveSpec::Geometric {
+            min: 1 << 30,
+            max: u32::MAX,
+            factor: 4,
+        };
+        // 2^30, then 2^32 overflows u32 -> stop cleanly.
+        assert_eq!(s.values().count(), 1);
+    }
+
+    #[test]
+    fn list_spec() {
+        let s = NActiveSpec::List(vec![1]);
+        assert_eq!(s.values().collect::<Vec<_>>(), vec![1]);
+        assert!(s.contains(1));
+        assert!(!s.contains(2));
+        assert_eq!(s.max_value(), Some(1));
+    }
+
+    #[test]
+    fn paper_database_tier() {
+        // Fig. 4: database tier, static sizing, nActive=[1], perf 10000.
+        let tier = Tier::new("database").with_option(ResourceOption::new(
+            "rG",
+            Sizing::Static,
+            FailureScope::Resource,
+            NActiveSpec::List(vec![1]),
+            PerfRef::Const(10_000.0),
+        ));
+        let opt = tier.option_for("rG").unwrap();
+        assert_eq!(opt.sizing(), Sizing::Static);
+        assert_eq!(opt.performance(), &PerfRef::Const(10_000.0));
+        assert!(tier.option_for("rZ").is_none());
+    }
+
+    #[test]
+    fn scientific_service_shape() {
+        // Fig. 5: jobsize 10000, one tier, two options with checkpoint.
+        let svc = Service::new("scientific")
+            .with_job_size(10_000.0)
+            .with_tier(
+                Tier::new("computation")
+                    .with_option(
+                        ResourceOption::new(
+                            "rH",
+                            Sizing::Static,
+                            FailureScope::Tier,
+                            NActiveSpec::Arithmetic {
+                                min: 1,
+                                max: 1000,
+                                step: 1,
+                            },
+                            PerfRef::Named("perfH.dat".into()),
+                        )
+                        .with_mechanism(MechanismUse::new("checkpoint", Some("mperfH.dat".into()))),
+                    )
+                    .with_option(ResourceOption::new(
+                        "rI",
+                        Sizing::Static,
+                        FailureScope::Tier,
+                        NActiveSpec::Arithmetic {
+                            min: 1,
+                            max: 1000,
+                            step: 1,
+                        },
+                        PerfRef::Named("perfI.dat".into()),
+                    )),
+            );
+        assert_eq!(svc.job_size(), Some(10_000.0));
+        let tier = svc.tier("computation").unwrap();
+        assert_eq!(tier.options().len(), 2);
+        let m = &tier.options()[0].mechanisms()[0];
+        assert_eq!(m.mechanism().as_str(), "checkpoint");
+        assert_eq!(m.mperformance(), Some("mperfH.dat"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_job_size_panics() {
+        let _ = Service::new("bad").with_job_size(0.0);
+    }
+}

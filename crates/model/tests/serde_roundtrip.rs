@@ -1,0 +1,173 @@
+//! Serde round-trip tests: the model types are data structures (C-SERDE)
+//! and must survive serialization to JSON and back unchanged — the basis
+//! for persisting infrastructure repositories and design outputs.
+
+use aved_model::{
+    ComponentType, Design, DurationSpec, EffectValue, FailureMode, FailureScope, Infrastructure,
+    Mechanism, MechanismUse, NActiveSpec, OperationalMode, ParamRange, ParamValue, Parameter,
+    PerfRef, ResourceComponent, ResourceOption, ResourceType, Service, ServiceRequirement, Sizing,
+    SpareMode, Tier, TierDesign,
+};
+use aved_units::{Duration, Money};
+
+fn round_trip<T>(value: &T) -> T
+where
+    T: serde::Serialize + serde::de::DeserializeOwned,
+{
+    let json = serde_json::to_string(value).expect("serializes");
+    serde_json::from_str(&json).expect("deserializes")
+}
+
+fn sample_infrastructure() -> Infrastructure {
+    Infrastructure::new()
+        .with_component(
+            ComponentType::new("machineA")
+                .with_costs(Money::from_dollars(2400.0), Money::from_dollars(2640.0))
+                .with_max_instances(64)
+                .with_failure_mode(FailureMode::new(
+                    "hard",
+                    Duration::from_days(650.0),
+                    DurationSpec::FromMechanism("maintenanceA".into()),
+                    Duration::from_mins(2.0),
+                ))
+                .with_failure_mode(FailureMode::new(
+                    "soft",
+                    Duration::from_days(75.0),
+                    Duration::ZERO,
+                    Duration::ZERO,
+                )),
+        )
+        .with_component(
+            ComponentType::new("mpi")
+                .with_loss_window(DurationSpec::FromMechanism("checkpoint".into()))
+                .with_failure_mode(FailureMode::new(
+                    "soft",
+                    Duration::from_days(60.0),
+                    Duration::ZERO,
+                    Duration::ZERO,
+                )),
+        )
+        .with_mechanism(
+            Mechanism::new("maintenanceA")
+                .with_param(Parameter::new(
+                    "level",
+                    ParamRange::Levels(vec!["bronze".into(), "gold".into()]),
+                ))
+                .with_cost_table(
+                    "level",
+                    vec![Money::from_dollars(380.0), Money::from_dollars(760.0)],
+                )
+                .with_mttr_effect(EffectValue::Table {
+                    param: "level".into(),
+                    values: vec![Duration::from_hours(38.0), Duration::from_hours(8.0)],
+                }),
+        )
+        .with_mechanism(
+            Mechanism::new("checkpoint")
+                .with_param(Parameter::new(
+                    "checkpoint_interval",
+                    ParamRange::GeometricDuration {
+                        min: Duration::from_mins(1.0),
+                        max: Duration::from_hours(24.0),
+                        factor: 1.05,
+                    },
+                ))
+                .with_loss_window_effect(EffectValue::Param("checkpoint_interval".into())),
+        )
+        .with_resource(
+            ResourceType::new("rH", Duration::from_secs(10.0))
+                .with_component(ResourceComponent::new(
+                    "machineA",
+                    None,
+                    Duration::from_secs(30.0),
+                ))
+                .with_component(ResourceComponent::new(
+                    "mpi",
+                    Some("machineA".into()),
+                    Duration::from_secs(2.0),
+                )),
+        )
+}
+
+#[test]
+fn infrastructure_round_trips() {
+    let infra = sample_infrastructure();
+    assert_eq!(round_trip(&infra), infra);
+}
+
+#[test]
+fn service_round_trips() {
+    let svc = Service::new("scientific")
+        .with_job_size(10_000.0)
+        .with_tier(
+            Tier::new("computation").with_option(
+                ResourceOption::new(
+                    "rH",
+                    Sizing::Static,
+                    FailureScope::Tier,
+                    NActiveSpec::Geometric {
+                        min: 1,
+                        max: 1024,
+                        factor: 2,
+                    },
+                    PerfRef::Named("perfH.dat".into()),
+                )
+                .with_mechanism(MechanismUse::new("checkpoint", Some("mperfH.dat".into()))),
+            ),
+        );
+    assert_eq!(round_trip(&svc), svc);
+}
+
+#[test]
+fn design_round_trips() {
+    let design = Design::new(vec![TierDesign::new("computation", "rH", 40, 2)
+        .with_spare_mode(SpareMode::PerComponent(vec![
+            OperationalMode::Active,
+            OperationalMode::Inactive,
+        ]))
+        .with_setting("maintenanceA", "level", ParamValue::Level("gold".into()))
+        .with_setting(
+            "checkpoint",
+            "checkpoint_interval",
+            ParamValue::Duration(Duration::from_mins(37.5)),
+        )]);
+    assert_eq!(round_trip(&design), design);
+}
+
+#[test]
+fn requirement_round_trips() {
+    for req in [
+        ServiceRequirement::enterprise(1000.0, Duration::from_mins(100.0)),
+        ServiceRequirement::job(Duration::from_hours(20.0)),
+    ] {
+        assert_eq!(round_trip(&req), req);
+    }
+}
+
+#[test]
+fn n_active_spec_variants_round_trip() {
+    for spec in [
+        NActiveSpec::Arithmetic {
+            min: 1,
+            max: 1000,
+            step: 1,
+        },
+        NActiveSpec::Geometric {
+            min: 2,
+            max: 64,
+            factor: 2,
+        },
+        NActiveSpec::List(vec![1, 3, 9]),
+    ] {
+        assert_eq!(round_trip(&spec), spec);
+    }
+}
+
+#[test]
+fn json_is_stable_for_durations() {
+    // Durations serialize transparently as seconds — a stable wire format.
+    let d = Duration::from_mins(2.0);
+    assert_eq!(serde_json::to_string(&d).unwrap(), "120.0");
+    let m = Money::from_dollars(380.0);
+    assert_eq!(serde_json::to_string(&m).unwrap(), "380.0");
+}

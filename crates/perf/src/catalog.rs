@@ -1,0 +1,184 @@
+//! Name → function registry resolving the symbolic references of service
+//! models.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use aved_model::PerfRef;
+
+use crate::{CheckpointOverhead, PerfFunction};
+
+/// Error produced when resolving a symbolic performance reference fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatalogError {
+    name: String,
+    kind: &'static str,
+}
+
+impl CatalogError {
+    fn new(name: &str, kind: &'static str) -> CatalogError {
+        CatalogError {
+            name: name.to_owned(),
+            kind,
+        }
+    }
+
+    /// The unresolved name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no {} function named {:?} in catalog",
+            self.kind, self.name
+        )
+    }
+}
+
+impl Error for CatalogError {}
+
+/// A registry of performance and checkpoint-overhead functions.
+///
+/// The service model references functions by name (the paper's `.dat`
+/// files); the engine resolves them through a catalog. The paper's own
+/// functions are available via [`crate::paper::catalog`].
+///
+/// # Examples
+///
+/// ```
+/// use aved_perf::{Catalog, PerfFunction};
+/// use aved_model::PerfRef;
+///
+/// let mut catalog = Catalog::new();
+/// catalog.insert_perf("perfX.dat", PerfFunction::linear(50.0));
+/// let f = catalog.resolve_perf(&PerfRef::Named("perfX.dat".into()))?;
+/// assert_eq!(f.throughput(2), 100.0);
+/// // Constants resolve without catalog entries.
+/// let c = catalog.resolve_perf(&PerfRef::Const(10_000.0))?;
+/// assert_eq!(c.throughput(1), 10_000.0);
+/// # Ok::<(), aved_perf::CatalogError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    perf: HashMap<String, PerfFunction>,
+    mperf: HashMap<String, CheckpointOverhead>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    #[must_use]
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Registers a performance function under a name.
+    pub fn insert_perf<N: Into<String>>(&mut self, name: N, f: PerfFunction) -> &mut Catalog {
+        self.perf.insert(name.into(), f);
+        self
+    }
+
+    /// Registers a checkpoint-overhead function under a name.
+    pub fn insert_mperf<N: Into<String>>(
+        &mut self,
+        name: N,
+        f: CheckpointOverhead,
+    ) -> &mut Catalog {
+        self.mperf.insert(name.into(), f);
+        self
+    }
+
+    /// Looks up a performance function by name.
+    #[must_use]
+    pub fn perf(&self, name: &str) -> Option<&PerfFunction> {
+        self.perf.get(name)
+    }
+
+    /// Looks up a checkpoint-overhead function by name.
+    #[must_use]
+    pub fn mperf(&self, name: &str) -> Option<&CheckpointOverhead> {
+        self.mperf.get(name)
+    }
+
+    /// Resolves a [`PerfRef`] from a service model to a concrete function.
+    ///
+    /// `PerfRef::Const` needs no catalog entry; `PerfRef::Named` must be
+    /// registered.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatalogError`] for an unregistered name.
+    pub fn resolve_perf(&self, perf_ref: &PerfRef) -> Result<PerfFunction, CatalogError> {
+        match perf_ref {
+            PerfRef::Const(v) => Ok(PerfFunction::constant(*v)),
+            PerfRef::Named(name) => self
+                .perf(name)
+                .cloned()
+                .ok_or_else(|| CatalogError::new(name, "performance")),
+        }
+    }
+
+    /// Resolves a named mperformance function.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CatalogError`] for an unregistered name.
+    pub fn resolve_mperf(&self, name: &str) -> Result<CheckpointOverhead, CatalogError> {
+        self.mperf(name)
+            .copied()
+            .ok_or_else(|| CatalogError::new(name, "mperformance"))
+    }
+
+    /// Number of registered performance functions.
+    #[must_use]
+    pub fn n_perf(&self) -> usize {
+        self.perf.len()
+    }
+
+    /// Number of registered mperformance functions.
+    #[must_use]
+    pub fn n_mperf(&self) -> usize {
+        self.mperf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_resolve() {
+        let mut c = Catalog::new();
+        c.insert_perf("p", PerfFunction::linear(1.0));
+        c.insert_mperf("m", CheckpointOverhead::new(10.0, 30, 3.0, 20.0));
+        assert!(c.perf("p").is_some());
+        assert!(c.mperf("m").is_some());
+        assert_eq!(c.n_perf(), 1);
+        assert_eq!(c.n_mperf(), 1);
+        assert!(c.resolve_perf(&PerfRef::Named("p".into())).is_ok());
+        assert!(c.resolve_mperf("m").is_ok());
+    }
+
+    #[test]
+    fn missing_names_error_with_context() {
+        let c = Catalog::new();
+        let err = c
+            .resolve_perf(&PerfRef::Named("ghost.dat".into()))
+            .unwrap_err();
+        assert_eq!(err.name(), "ghost.dat");
+        assert!(err.to_string().contains("ghost.dat"));
+        assert!(c.resolve_mperf("ghost").is_err());
+    }
+
+    #[test]
+    fn const_ref_needs_no_entry() {
+        let c = Catalog::new();
+        let f = c.resolve_perf(&PerfRef::Const(5.0)).unwrap();
+        assert_eq!(f.throughput(9), 5.0);
+    }
+}

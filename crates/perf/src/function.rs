@@ -1,0 +1,331 @@
+//! Tier throughput as a function of the active resource count.
+
+use serde::{Deserialize, Serialize};
+
+/// Throughput (service-specific units of work per unit time) as a function
+/// of the number of active resources.
+///
+/// # Examples
+///
+/// ```
+/// use aved_perf::PerfFunction;
+///
+/// // The paper's application tier on resource rC: 200 units per node.
+/// let perf = PerfFunction::linear(200.0);
+/// assert_eq!(perf.throughput(5), 1000.0);
+/// assert_eq!(perf.min_active_for(1000.0), Some(5));
+/// assert_eq!(perf.min_active_for(1001.0), Some(6));
+///
+/// // The scientific application on rH: (10·n)/(1+0.004·n), sublinear.
+/// let sci = PerfFunction::saturating(10.0, 0.004);
+/// assert!(sci.throughput(60) < 600.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PerfFunction {
+    /// `per_node · n`: ideal linear scaling.
+    Linear {
+        /// Throughput of a single resource.
+        per_node: f64,
+    },
+    /// `a·n / (1 + b·n)`: sublinear scaling with a saturation asymptote at
+    /// `a/b` (the paper's scientific-application shape).
+    Saturating {
+        /// Per-node throughput at small `n`.
+        a: f64,
+        /// Saturation coefficient.
+        b: f64,
+    },
+    /// Piecewise-linear interpolation of measured `(n, throughput)` points,
+    /// constant beyond the last point (the `.dat`-file form the paper's
+    /// tooling consumed).
+    Table {
+        /// Sample points sorted by increasing `n`; throughput must be
+        /// non-decreasing for [`min_active_for`](Self::min_active_for) to
+        /// be meaningful.
+        points: Vec<(u32, f64)>,
+    },
+    /// Throughput independent of `n` (the paper's database tier:
+    /// `performance=10000`).
+    Const {
+        /// The constant throughput.
+        value: f64,
+    },
+}
+
+impl PerfFunction {
+    /// Creates a linear function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_node` is not positive.
+    #[must_use]
+    pub fn linear(per_node: f64) -> PerfFunction {
+        assert!(per_node > 0.0, "per-node throughput must be positive");
+        PerfFunction::Linear { per_node }
+    }
+
+    /// Creates a saturating function `a·n/(1+b·n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not positive or `b` is negative.
+    #[must_use]
+    pub fn saturating(a: f64, b: f64) -> PerfFunction {
+        assert!(a > 0.0, "saturating coefficient a must be positive");
+        assert!(b >= 0.0, "saturating coefficient b must be non-negative");
+        PerfFunction::Saturating { a, b }
+    }
+
+    /// Creates a tabulated function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or not strictly increasing in `n`.
+    #[must_use]
+    pub fn table(points: Vec<(u32, f64)>) -> PerfFunction {
+        assert!(!points.is_empty(), "table needs at least one point");
+        assert!(
+            points.windows(2).all(|w| w[0].0 < w[1].0),
+            "table points must be strictly increasing in n"
+        );
+        PerfFunction::Table { points }
+    }
+
+    /// Creates a constant function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is not positive.
+    #[must_use]
+    pub fn constant(value: f64) -> PerfFunction {
+        assert!(value > 0.0, "constant throughput must be positive");
+        PerfFunction::Const { value }
+    }
+
+    /// The tier throughput with `n` active resources.
+    ///
+    /// `n = 0` yields zero throughput for all function shapes except
+    /// `Const` (a constant function models a tier whose single resource's
+    /// performance is not the bottleneck; with zero resources the tier is
+    /// down, which availability handles separately).
+    #[must_use]
+    pub fn throughput(&self, n: u32) -> f64 {
+        let nf = f64::from(n);
+        match self {
+            PerfFunction::Linear { per_node } => per_node * nf,
+            PerfFunction::Saturating { a, b } => a * nf / (1.0 + b * nf),
+            PerfFunction::Table { points } => {
+                if n == 0 {
+                    return 0.0;
+                }
+                match points.binary_search_by_key(&n, |&(pn, _)| pn) {
+                    Ok(i) => points[i].1,
+                    Err(0) => {
+                        // Below the first sample: interpolate from (0, 0).
+                        let (n1, t1) = points[0];
+                        t1 * nf / f64::from(n1)
+                    }
+                    Err(i) if i == points.len() => points[points.len() - 1].1,
+                    Err(i) => {
+                        let (n0, t0) = points[i - 1];
+                        let (n1, t1) = points[i];
+                        let frac = (nf - f64::from(n0)) / f64::from(n1 - n0);
+                        t0 + (t1 - t0) * frac
+                    }
+                }
+            }
+            PerfFunction::Const { value } => *value,
+        }
+    }
+
+    /// The supremum of achievable throughput over all `n` (used to reject
+    /// infeasible loads early).
+    #[must_use]
+    pub fn max_throughput(&self) -> f64 {
+        match self {
+            PerfFunction::Linear { .. } => f64::INFINITY,
+            PerfFunction::Saturating { a, b } => {
+                if *b == 0.0 {
+                    f64::INFINITY
+                } else {
+                    a / b
+                }
+            }
+            PerfFunction::Table { points } => points
+                .iter()
+                .map(|&(_, t)| t)
+                .fold(f64::NEG_INFINITY, f64::max),
+            PerfFunction::Const { value } => *value,
+        }
+    }
+
+    /// The smallest `n` with `throughput(n) >= load` — the paper's
+    /// "minimum number of resources required to meet the performance
+    /// requirement in the absence of any failures".
+    ///
+    /// Returns `None` when no finite `n` achieves the load (sublinear
+    /// saturation below the requirement, or a constant function under it).
+    #[must_use]
+    pub fn min_active_for(&self, load: f64) -> Option<u32> {
+        assert!(load >= 0.0, "load must be non-negative");
+        if load == 0.0 {
+            return Some(0);
+        }
+        match self {
+            PerfFunction::Linear { per_node } => {
+                let n = (load / per_node).ceil();
+                Some(n as u32)
+            }
+            PerfFunction::Saturating { a, b } => {
+                // a·n/(1+b·n) >= load  <=>  n·(a - b·load) >= load
+                let denom = a - b * load;
+                if denom <= 0.0 {
+                    return None;
+                }
+                let n = (load / denom).ceil();
+                Some(n as u32)
+            }
+            PerfFunction::Table { .. } => {
+                if self.max_throughput() < load {
+                    return None;
+                }
+                // Monotone scan; tables are small.
+                let mut n = 1;
+                loop {
+                    if self.throughput(n) >= load {
+                        return Some(n);
+                    }
+                    n += 1;
+                }
+            }
+            PerfFunction::Const { value } => {
+                if *value >= load {
+                    Some(1)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn linear_throughput_and_inverse() {
+        let f = PerfFunction::linear(200.0);
+        assert_eq!(f.throughput(0), 0.0);
+        assert_eq!(f.throughput(7), 1400.0);
+        assert_eq!(f.min_active_for(400.0), Some(2));
+        assert_eq!(f.min_active_for(401.0), Some(3));
+        assert_eq!(f.min_active_for(0.0), Some(0));
+        assert_eq!(f.max_throughput(), f64::INFINITY);
+    }
+
+    #[test]
+    fn saturating_throughput_and_inverse() {
+        // rH from Table 1: (10n)/(1+0.004n).
+        let f = PerfFunction::saturating(10.0, 0.004);
+        assert!((f.throughput(1) - 10.0 / 1.004).abs() < 1e-12);
+        assert!((f.max_throughput() - 2500.0).abs() < 1e-9);
+        // load near the asymptote is infeasible
+        assert_eq!(f.min_active_for(2500.0), None);
+        assert_eq!(f.min_active_for(3000.0), None);
+        // and a feasible one satisfies the defining inequality minimally
+        let n = f.min_active_for(1000.0).unwrap();
+        assert!(f.throughput(n) >= 1000.0);
+        assert!(f.throughput(n - 1) < 1000.0);
+    }
+
+    #[test]
+    fn sublinear_needs_more_nodes_than_linear() {
+        let lin = PerfFunction::linear(10.0);
+        let sat = PerfFunction::saturating(10.0, 0.004);
+        for load in [100.0, 500.0, 1000.0, 2000.0] {
+            assert!(sat.min_active_for(load).unwrap() >= lin.min_active_for(load).unwrap());
+        }
+    }
+
+    #[test]
+    fn table_interpolates() {
+        let f = PerfFunction::table(vec![(2, 100.0), (4, 180.0), (8, 300.0)]);
+        assert_eq!(f.throughput(2), 100.0);
+        assert_eq!(f.throughput(4), 180.0);
+        assert_eq!(f.throughput(3), 140.0);
+        // below first point: through origin
+        assert_eq!(f.throughput(1), 50.0);
+        assert_eq!(f.throughput(0), 0.0);
+        // beyond last point: flat
+        assert_eq!(f.throughput(100), 300.0);
+        assert_eq!(f.max_throughput(), 300.0);
+        assert_eq!(f.min_active_for(140.0), Some(3));
+        assert_eq!(f.min_active_for(301.0), None);
+    }
+
+    #[test]
+    fn const_function() {
+        let f = PerfFunction::constant(10_000.0);
+        assert_eq!(f.throughput(1), 10_000.0);
+        assert_eq!(f.throughput(50), 10_000.0);
+        assert_eq!(f.min_active_for(9999.0), Some(1));
+        assert_eq!(f.min_active_for(10_001.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_linear_panics() {
+        let _ = PerfFunction::linear(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing")]
+    fn unsorted_table_panics() {
+        let _ = PerfFunction::table(vec![(4, 1.0), (2, 2.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_table_panics() {
+        let _ = PerfFunction::table(vec![]);
+    }
+
+    proptest! {
+        #[test]
+        fn min_active_is_tight_for_linear(per_node in 1.0_f64..1e4, load in 0.1_f64..1e6) {
+            let f = PerfFunction::linear(per_node);
+            let n = f.min_active_for(load).unwrap();
+            prop_assert!(f.throughput(n) >= load * (1.0 - 1e-12));
+            if n > 0 {
+                prop_assert!(f.throughput(n - 1) < load);
+            }
+        }
+
+        #[test]
+        fn min_active_is_tight_for_saturating(
+            a in 1.0_f64..1e3,
+            b in 0.0001_f64..0.1,
+            frac in 0.01_f64..0.95,
+        ) {
+            let f = PerfFunction::saturating(a, b);
+            let load = frac * f.max_throughput();
+            let n = f.min_active_for(load).unwrap();
+            prop_assert!(f.throughput(n) >= load * (1.0 - 1e-9));
+            if n > 1 {
+                prop_assert!(f.throughput(n - 1) < load * (1.0 + 1e-9));
+            }
+        }
+
+        #[test]
+        fn throughput_is_monotone(
+            a in 1.0_f64..1e3,
+            b in 0.0_f64..0.1,
+            n in 0_u32..500,
+        ) {
+            let f = PerfFunction::saturating(a, b);
+            prop_assert!(f.throughput(n + 1) >= f.throughput(n));
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Performance functions for the Aved design engine.
+//!
+//! The service model describes a tier's performance "in service-specific
+//! units of work per units of time, typically defined as a function of the
+//! number of active resources" (paper §3.2), referenced by name
+//! (`performance(nActive)=perfC.dat`). The performance impact of
+//! availability mechanisms is likewise a named function
+//! (`mperformance(storage_location, checkpoint_interval, nActive)`).
+//!
+//! This crate provides:
+//!
+//! * [`PerfFunction`] — throughput as a function of the number of active
+//!   resources (linear, saturating, tabulated or constant) with an inverse
+//!   ([`PerfFunction::min_active_for`]) used by the search to find the
+//!   minimum resource count meeting a load;
+//! * [`CheckpointOverhead`] — the execution-time multiplier of a
+//!   checkpoint mechanism, in the shape of the paper's Table 1
+//!   (`max(factor/cpi, 100%)` with a central-storage factor that grows with
+//!   `n` past a bottleneck threshold);
+//! * [`Catalog`] — a name→function registry resolving the symbolic
+//!   references in service models;
+//! * [`paper`] — the concrete functions of Table 1, registered under the
+//!   names the paper's figures use (`perfA.dat` … `mperfI.dat`).
+
+mod catalog;
+mod function;
+mod overhead;
+pub mod paper;
+
+pub use catalog::{Catalog, CatalogError};
+pub use function::PerfFunction;
+pub use overhead::{CheckpointOverhead, OverheadForm, StorageLocation};

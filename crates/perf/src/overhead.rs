@@ -1,0 +1,354 @@
+//! Checkpoint-overhead (`mperformance`) functions.
+
+use aved_units::Duration;
+use serde::{Deserialize, Serialize};
+
+/// Where checkpoint state is stored (paper §5.2).
+///
+/// `Central` writes application state to a shared, highly-reliable file
+/// server — cheap per node but a bottleneck at scale. `Peer` mirrors state
+/// to the local disk and a peer node's disk — higher fixed per-node
+/// overhead, but no shared bottleneck.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StorageLocation {
+    /// Network-attached central storage.
+    Central,
+    /// Local + peer-node disk.
+    Peer,
+}
+
+impl std::str::FromStr for StorageLocation {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<StorageLocation, String> {
+        match s {
+            "central" => Ok(StorageLocation::Central),
+            "peer" => Ok(StorageLocation::Peer),
+            other => Err(format!("unknown storage location {other:?}")),
+        }
+    }
+}
+
+impl std::fmt::Display for StorageLocation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            StorageLocation::Central => "central",
+            StorageLocation::Peer => "peer",
+        })
+    }
+}
+
+/// How the per-checkpoint cost is turned into an execution-time multiplier.
+///
+/// The paper's Table 1 writes `mperformance = max(c/cpi, 100%)`. Read
+/// literally (`PiecewiseMax`), overhead vanishes entirely once the interval
+/// exceeds the per-checkpoint cost `c` — which pins the optimal interval to
+/// the knee at `cpi = c` and cannot reproduce Fig. 7's rising-interval
+/// trend. The physical model it abbreviates is `Smooth`: every `cpi`
+/// minutes of useful work is followed by `c` minutes of checkpointing, so
+/// wall time scales by `1 + c/cpi` — a curve whose two asymptotes are
+/// exactly Table 1's `max` envelope, and whose interaction with the loss
+/// window yields the classic optimum `√(2·c·MTBF)` that grows as failures
+/// become rarer, precisely the behaviour of Fig. 7. `Smooth` is the
+/// default; `PiecewiseMax` is kept for the literal-reading ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum OverheadForm {
+    /// `1 + c/cpi`: the physical cost model (default).
+    #[default]
+    Smooth,
+    /// `max(c/cpi, 1)`: Table 1 read literally.
+    PiecewiseMax,
+}
+
+/// The execution-time multiplier of a checkpoint mechanism, parameterized
+/// as in the paper's Table 1.
+///
+/// The per-checkpoint cost `c` (in minutes) depends on the storage
+/// location and the node count: for central storage it is a constant below
+/// the bottleneck threshold and grows linearly with the node count above
+/// it (the shared file server saturates); for peer storage it is a larger
+/// node-count-independent constant.
+///
+/// # Examples
+///
+/// ```
+/// use aved_perf::{CheckpointOverhead, StorageLocation};
+/// use aved_units::Duration;
+///
+/// // Table 1, resource rH: central cost 10 (n<30), n/3 after; peer 20.
+/// let mperf = CheckpointOverhead::new(10.0, 30, 3.0, 20.0);
+/// let cpi = Duration::from_mins(20.0);
+/// // Smooth form: 1 + 10/20 = 1.5x for central, 1 + 20/20 = 2x for peer.
+/// assert_eq!(mperf.multiplier(StorageLocation::Central, cpi, 10), 1.5);
+/// assert_eq!(mperf.multiplier(StorageLocation::Peer, cpi, 10), 2.0);
+/// // Large n: the central store becomes the bottleneck (cost 60/3 = 20).
+/// assert_eq!(mperf.multiplier(StorageLocation::Central, cpi, 60), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointOverhead {
+    central_base: f64,
+    central_threshold: u32,
+    central_divisor: f64,
+    peer_base: f64,
+    form: OverheadForm,
+}
+
+impl CheckpointOverhead {
+    /// Creates an overhead function (smooth form).
+    ///
+    /// * `central_base` — central-storage per-checkpoint cost in minutes,
+    ///   for `n < central_threshold` nodes;
+    /// * `central_threshold` — node count where the central store
+    ///   saturates;
+    /// * `central_divisor` — past the threshold the cost is
+    ///   `n / central_divisor` minutes;
+    /// * `peer_base` — peer-storage per-checkpoint cost in minutes, for
+    ///   any `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any factor is non-positive or the threshold is zero.
+    #[must_use]
+    pub fn new(
+        central_base: f64,
+        central_threshold: u32,
+        central_divisor: f64,
+        peer_base: f64,
+    ) -> CheckpointOverhead {
+        assert!(central_base > 0.0, "central base cost must be positive");
+        assert!(central_threshold > 0, "threshold must be positive");
+        assert!(central_divisor > 0.0, "central divisor must be positive");
+        assert!(peer_base > 0.0, "peer base cost must be positive");
+        CheckpointOverhead {
+            central_base,
+            central_threshold,
+            central_divisor,
+            peer_base,
+            form: OverheadForm::Smooth,
+        }
+    }
+
+    /// Selects the overhead form (see [`OverheadForm`]).
+    #[must_use]
+    pub fn with_form(mut self, form: OverheadForm) -> CheckpointOverhead {
+        self.form = form;
+        self
+    }
+
+    /// The overhead form in effect.
+    #[must_use]
+    pub fn form(&self) -> OverheadForm {
+        self.form
+    }
+
+    /// The per-checkpoint cost in minutes for the given storage location
+    /// and node count.
+    #[must_use]
+    pub fn cost_minutes(&self, location: StorageLocation, n: u32) -> f64 {
+        match location {
+            StorageLocation::Central => {
+                if n < self.central_threshold {
+                    self.central_base
+                } else {
+                    f64::from(n) / self.central_divisor
+                }
+            }
+            StorageLocation::Peer => self.peer_base,
+        }
+    }
+
+    /// The execution-time multiplier (`>= 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    #[must_use]
+    pub fn multiplier(&self, location: StorageLocation, interval: Duration, n: u32) -> f64 {
+        assert!(!interval.is_zero(), "checkpoint interval must be positive");
+        let cpi = interval.minutes();
+        let cost = self.cost_minutes(location, n);
+        match self.form {
+            OverheadForm::Smooth => 1.0 + cost / cpi,
+            OverheadForm::PiecewiseMax => (cost / cpi).max(1.0),
+        }
+    }
+
+    /// The fraction of wall-clock time doing useful work under this
+    /// overhead (`1 / multiplier`).
+    #[must_use]
+    pub fn efficiency(&self, location: StorageLocation, interval: Duration, n: u32) -> f64 {
+        1.0 / self.multiplier(location, interval, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Table 1's mperf for rH.
+    fn mperf_h() -> CheckpointOverhead {
+        CheckpointOverhead::new(10.0, 30, 3.0, 20.0)
+    }
+
+    /// Table 1's mperf for rI.
+    fn mperf_i() -> CheckpointOverhead {
+        CheckpointOverhead::new(5.0, 30, 6.0, 100.0)
+    }
+
+    #[test]
+    fn per_checkpoint_costs_match_table1() {
+        assert_eq!(mperf_h().cost_minutes(StorageLocation::Central, 29), 10.0);
+        assert_eq!(mperf_h().cost_minutes(StorageLocation::Central, 90), 30.0);
+        assert_eq!(mperf_h().cost_minutes(StorageLocation::Peer, 500), 20.0);
+        assert_eq!(mperf_i().cost_minutes(StorageLocation::Central, 29), 5.0);
+        assert_eq!(mperf_i().cost_minutes(StorageLocation::Central, 90), 15.0);
+        assert_eq!(mperf_i().cost_minutes(StorageLocation::Peer, 500), 100.0);
+    }
+
+    #[test]
+    fn smooth_multiplier_values() {
+        let cpi = Duration::from_mins(2.0);
+        // rH central, small n: 1 + 10/2 = 6x.
+        assert_eq!(mperf_h().multiplier(StorageLocation::Central, cpi, 10), 6.0);
+        // rI peer: 1 + 100/2 = 51x.
+        assert_eq!(mperf_i().multiplier(StorageLocation::Peer, cpi, 10), 51.0);
+    }
+
+    #[test]
+    fn piecewise_form_matches_table1_literal_reading() {
+        let m = mperf_h().with_form(OverheadForm::PiecewiseMax);
+        let short = Duration::from_mins(2.0);
+        let long = Duration::from_hours(24.0);
+        assert_eq!(m.multiplier(StorageLocation::Central, short, 10), 5.0);
+        assert_eq!(m.multiplier(StorageLocation::Central, long, 10), 1.0);
+        assert_eq!(m.form(), OverheadForm::PiecewiseMax);
+        assert_eq!(mperf_h().form(), OverheadForm::Smooth);
+    }
+
+    #[test]
+    fn smooth_form_approaches_piecewise_asymptotes() {
+        let smooth = mperf_h();
+        let pw = mperf_h().with_form(OverheadForm::PiecewiseMax);
+        // Very short intervals: both ~ cost/cpi.
+        let tiny = Duration::from_secs(6.0); // 0.1 min
+        let (a, b) = (
+            smooth.multiplier(StorageLocation::Peer, tiny, 1),
+            pw.multiplier(StorageLocation::Peer, tiny, 1),
+        );
+        assert!((a - b).abs() / b < 0.01);
+        // Very long intervals: both ~ 1.
+        let huge = Duration::from_hours(100.0);
+        let (a, b) = (
+            smooth.multiplier(StorageLocation::Peer, huge, 1),
+            pw.multiplier(StorageLocation::Peer, huge, 1),
+        );
+        assert!((a - b).abs() < 0.01);
+    }
+
+    #[test]
+    fn long_intervals_have_negligible_overhead() {
+        let cpi = Duration::from_hours(24.0);
+        let m = mperf_h().multiplier(StorageLocation::Central, cpi, 10);
+        assert!(m < 1.01, "got {m}");
+    }
+
+    #[test]
+    fn crossover_central_beats_peer_at_small_n() {
+        // Per-checkpoint cost: central 10 vs peer 20 below threshold;
+        // central n/3 vs peer 20 above -> crossover at n = 60.
+        let m = mperf_h();
+        let cpi = Duration::from_mins(1.0);
+        for n in [1, 30, 59] {
+            assert!(
+                m.multiplier(StorageLocation::Central, cpi, n)
+                    <= m.multiplier(StorageLocation::Peer, cpi, n)
+            );
+        }
+        for n in [61, 100, 500] {
+            assert!(
+                m.multiplier(StorageLocation::Central, cpi, n)
+                    > m.multiplier(StorageLocation::Peer, cpi, n)
+            );
+        }
+    }
+
+    #[test]
+    fn peer_cost_is_independent_of_n() {
+        let cpi = Duration::from_mins(10.0);
+        let at_1 = mperf_h().multiplier(StorageLocation::Peer, cpi, 1);
+        for n in [30, 100, 500] {
+            assert_eq!(mperf_h().multiplier(StorageLocation::Peer, cpi, n), at_1);
+        }
+    }
+
+    #[test]
+    fn efficiency_is_reciprocal() {
+        let m = mperf_h();
+        let cpi = Duration::from_mins(5.0);
+        let mult = m.multiplier(StorageLocation::Central, cpi, 10);
+        assert!((m.efficiency(StorageLocation::Central, cpi, 10) - 1.0 / mult).abs() < 1e-12);
+    }
+
+    #[test]
+    fn storage_location_parsing() {
+        assert_eq!(
+            "central".parse::<StorageLocation>(),
+            Ok(StorageLocation::Central)
+        );
+        assert_eq!("peer".parse::<StorageLocation>(), Ok(StorageLocation::Peer));
+        assert!("cloud".parse::<StorageLocation>().is_err());
+        assert_eq!(StorageLocation::Central.to_string(), "central");
+    }
+
+    #[test]
+    #[should_panic(expected = "interval")]
+    fn zero_interval_panics() {
+        let _ = mperf_h().multiplier(StorageLocation::Peer, Duration::ZERO, 1);
+    }
+
+    proptest! {
+        #[test]
+        fn multiplier_at_least_one(
+            cpi_mins in 0.1_f64..10_000.0,
+            n in 1_u32..1000,
+            central in prop::bool::ANY,
+            piecewise in prop::bool::ANY,
+        ) {
+            let loc = if central { StorageLocation::Central } else { StorageLocation::Peer };
+            let form = if piecewise { OverheadForm::PiecewiseMax } else { OverheadForm::Smooth };
+            let m = mperf_h().with_form(form).multiplier(loc, Duration::from_mins(cpi_mins), n);
+            prop_assert!(m >= 1.0);
+        }
+
+        #[test]
+        fn multiplier_decreases_with_interval(
+            n in 1_u32..1000,
+            cpi_a in 0.1_f64..100.0,
+            factor in 1.1_f64..10.0,
+        ) {
+            let m = mperf_h();
+            let short = m.multiplier(StorageLocation::Central, Duration::from_mins(cpi_a), n);
+            let long = m.multiplier(
+                StorageLocation::Central,
+                Duration::from_mins(cpi_a * factor),
+                n,
+            );
+            prop_assert!(long <= short);
+        }
+
+        #[test]
+        fn smooth_dominates_piecewise(
+            cpi_mins in 0.1_f64..10_000.0,
+            n in 1_u32..1000,
+        ) {
+            // 1 + c/cpi >= max(c/cpi, 1) always.
+            let cpi = Duration::from_mins(cpi_mins);
+            let s = mperf_h().multiplier(StorageLocation::Central, cpi, n);
+            let p = mperf_h()
+                .with_form(OverheadForm::PiecewiseMax)
+                .multiplier(StorageLocation::Central, cpi, n);
+            prop_assert!(s >= p);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Memoizing wrapper around an availability engine.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use aved_avail::{AvailError, AvailabilityEngine, TierAvailability, TierModel};
+
+/// An [`AvailabilityEngine`] decorator that memoizes results by model.
+///
+/// Large parts of the design space share an availability model: checkpoint
+/// parameters change the loss window and the performance overhead but not
+/// the failure/repair dynamics, so the thousands of checkpoint-interval
+/// candidates the Fig.-7 search enumerates map to a handful of distinct
+/// tier models. Wrapping the engine in a cache turns those re-evaluations
+/// into hash lookups.
+///
+/// # Examples
+///
+/// ```
+/// use aved_avail::{AvailabilityEngine, CtmcEngine, FailureClass, TierModel};
+/// use aved_search::CachingEngine;
+/// use aved_units::Duration;
+///
+/// let inner = CtmcEngine::default();
+/// let engine = CachingEngine::new(&inner);
+/// let model = TierModel::new(1, 1, 0).with_class(FailureClass::new(
+///     "hw",
+///     Duration::from_hours(1000.0).rate(),
+///     Duration::from_hours(10.0),
+///     Duration::ZERO,
+///     false,
+/// ));
+/// let first = engine.evaluate(&model)?;
+/// let second = engine.evaluate(&model)?; // served from cache
+/// assert_eq!(first, second);
+/// assert_eq!(engine.hits(), 1);
+/// # Ok::<(), aved_avail::AvailError>(())
+/// ```
+pub struct CachingEngine<'a> {
+    inner: &'a dyn AvailabilityEngine,
+    cache: RefCell<HashMap<String, TierAvailability>>,
+    hits: RefCell<u64>,
+    misses: RefCell<u64>,
+}
+
+impl<'a> CachingEngine<'a> {
+    /// Wraps an engine.
+    #[must_use]
+    pub fn new(inner: &'a dyn AvailabilityEngine) -> CachingEngine<'a> {
+        CachingEngine {
+            inner,
+            cache: RefCell::new(HashMap::new()),
+            hits: RefCell::new(0),
+            misses: RefCell::new(0),
+        }
+    }
+
+    /// Number of cache hits so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        *self.hits.borrow()
+    }
+
+    /// Number of cache misses (inner evaluations) so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        *self.misses.borrow()
+    }
+}
+
+impl AvailabilityEngine for CachingEngine<'_> {
+    fn evaluate(&self, model: &TierModel) -> Result<TierAvailability, AvailError> {
+        // The Debug rendering is a complete, deterministic serialization of
+        // the model (all fields derive Debug), making it a sound cache key.
+        let key = format!("{model:?}");
+        if let Some(hit) = self.cache.borrow().get(&key) {
+            *self.hits.borrow_mut() += 1;
+            return Ok(*hit);
+        }
+        let result = self.inner.evaluate(model)?;
+        *self.misses.borrow_mut() += 1;
+        self.cache.borrow_mut().insert(key, result);
+        Ok(result)
+    }
+}
+
+impl std::fmt::Debug for CachingEngine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachingEngine")
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aved_avail::{CtmcEngine, FailureClass};
+    use aved_units::Duration;
+
+    fn model(n: u32) -> TierModel {
+        TierModel::new(n, 1, 0).with_class(FailureClass::new(
+            "hw",
+            Duration::from_hours(100.0).rate(),
+            Duration::from_hours(1.0),
+            Duration::ZERO,
+            false,
+        ))
+    }
+
+    #[test]
+    fn caches_by_model_identity() {
+        let inner = CtmcEngine::default();
+        let engine = CachingEngine::new(&inner);
+        let a = engine.evaluate(&model(2)).unwrap();
+        let b = engine.evaluate(&model(2)).unwrap();
+        let c = engine.evaluate(&model(3)).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a.unavailability(), c.unavailability());
+        assert_eq!(engine.hits(), 1);
+        assert_eq!(engine.misses(), 2);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let inner = CtmcEngine::default();
+        let engine = CachingEngine::new(&inner);
+        let bad = TierModel::new(1, 1, 0); // no classes
+        assert!(engine.evaluate(&bad).is_err());
+        assert_eq!(engine.misses(), 0);
+    }
+}

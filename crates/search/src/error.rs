@@ -1,0 +1,86 @@
+//! Search-level errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced during design-space search.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SearchError {
+    /// The service model has no tier with the requested name.
+    UnknownTier {
+        /// The missing tier name.
+        tier: String,
+    },
+    /// The requirement kind does not match the service kind (e.g. a job
+    /// requirement for an enterprise service).
+    RequirementMismatch {
+        /// Explanation.
+        detail: String,
+    },
+    /// A symbolic performance reference could not be resolved.
+    Catalog(aved_perf::CatalogError),
+    /// Availability evaluation failed.
+    Avail(aved_avail::AvailError),
+    /// The design-space model is inconsistent.
+    Model(aved_model::ModelError),
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchError::UnknownTier { tier } => write!(f, "service has no tier named {tier}"),
+            SearchError::RequirementMismatch { detail } => {
+                write!(f, "requirement mismatch: {detail}")
+            }
+            SearchError::Catalog(e) => write!(f, "catalog error: {e}"),
+            SearchError::Avail(e) => write!(f, "availability error: {e}"),
+            SearchError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl Error for SearchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SearchError::Catalog(e) => Some(e),
+            SearchError::Avail(e) => Some(e),
+            SearchError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<aved_perf::CatalogError> for SearchError {
+    fn from(e: aved_perf::CatalogError) -> SearchError {
+        SearchError::Catalog(e)
+    }
+}
+
+impl From<aved_avail::AvailError> for SearchError {
+    fn from(e: aved_avail::AvailError) -> SearchError {
+        SearchError::Avail(e)
+    }
+}
+
+impl From<aved_model::ModelError> for SearchError {
+    fn from(e: aved_model::ModelError) -> SearchError {
+        SearchError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_sources() {
+        assert!(SearchError::UnknownTier { tier: "db".into() }
+            .to_string()
+            .contains("db"));
+        let e: SearchError = aved_avail::AvailError::InvalidModel { detail: "x".into() }.into();
+        assert!(Error::source(&e).is_some());
+        let e: SearchError = aved_model::ModelError::Invalid { detail: "y".into() }.into();
+        assert!(Error::source(&e).is_some());
+    }
+}

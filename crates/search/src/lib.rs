@@ -1,0 +1,44 @@
+//! Design-space search (paper §4).
+//!
+//! Given an infrastructure model, a service model, a performance catalog
+//! and an availability engine, this crate enumerates and evaluates designs
+//! to find the minimum-cost design meeting the service requirements:
+//!
+//! * [`EvalContext`] bundles the models and the pluggable engine;
+//! * [`enumerate_tier_candidates`] produces every resolved tier design for
+//!   a given resource count, covering active/spare splits, spare
+//!   operational modes and all availability-mechanism parameter settings;
+//! * [`evaluate_enterprise_design`] / [`evaluate_job_design`] attach cost,
+//!   availability and (for finite jobs) expected completion time;
+//! * [`search_tier`] implements the paper's §4.1 algorithm for one tier —
+//!   grow the resource count from the performance minimum, try all
+//!   combinations at each size, prune by cost once a feasible design is
+//!   known, stop when every remaining design necessarily costs more;
+//! * [`search_job_tier`] is the finite-job analogue driven by expected
+//!   execution time;
+//! * [`tier_pareto_frontier`] and [`job_frontier`] compute the full
+//!   cost/quality tradeoff curves behind the paper's Figs. 6–8;
+//! * [`search_service`] composes per-tier frontiers into a minimum-cost
+//!   multi-tier design by greedy marginal-cost refinement.
+
+mod cache;
+mod candidate;
+mod context;
+mod error;
+mod evaluate;
+mod frontier;
+mod multi_tier;
+mod sensitivity;
+#[cfg(test)]
+mod test_fixtures;
+mod tier_search;
+
+pub use cache::CachingEngine;
+pub use candidate::{enumerate_settings, enumerate_tier_candidates, SearchOptions};
+pub use context::EvalContext;
+pub use error::SearchError;
+pub use evaluate::{evaluate_enterprise_design, evaluate_job_design, EvaluatedDesign};
+pub use frontier::{job_frontier, tier_pareto_frontier};
+pub use multi_tier::{search_service, ServiceDesign};
+pub use sensitivity::{mtbf_sensitivity, scale_mtbfs, SensitivityRow};
+pub use tier_search::{search_job_tier, search_tier, SearchOutcome, SearchStats};

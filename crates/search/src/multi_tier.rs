@@ -1,0 +1,262 @@
+//! Multi-tier composition and refinement (paper §4.1, first paragraph).
+
+use aved_avail::combine_series;
+use aved_model::Design;
+use aved_units::{Duration, Money};
+
+use crate::{tier_pareto_frontier, EvalContext, EvaluatedDesign, SearchError, SearchOptions};
+
+/// A complete multi-tier design with its evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceDesign {
+    tiers: Vec<EvaluatedDesign>,
+    cost: Money,
+    annual_downtime: Duration,
+}
+
+impl ServiceDesign {
+    /// The per-tier evaluated designs.
+    #[must_use]
+    pub fn tiers(&self) -> &[EvaluatedDesign] {
+        &self.tiers
+    }
+
+    /// Total annual cost.
+    #[must_use]
+    pub fn cost(&self) -> Money {
+        self.cost
+    }
+
+    /// Expected service-level annual downtime (tiers in series).
+    #[must_use]
+    pub fn annual_downtime(&self) -> Duration {
+        self.annual_downtime
+    }
+
+    /// Converts to a plain [`Design`].
+    #[must_use]
+    pub fn to_design(&self) -> Design {
+        Design::new(self.tiers.iter().map(|t| t.design().clone()).collect())
+    }
+}
+
+fn compose(tiers: &[EvaluatedDesign]) -> (Money, Duration) {
+    let cost = tiers.iter().map(EvaluatedDesign::cost).sum();
+    let availabilities: Vec<_> = tiers.iter().map(|t| *t.availability()).collect();
+    let service = combine_series(&availabilities);
+    (cost, service.annual_downtime())
+}
+
+/// Largest frontier cross product we enumerate exactly before switching to
+/// the greedy refinement.
+const EXACT_COMPOSITION_LIMIT: usize = 250_000;
+
+/// Exhaustive minimum-cost composition over the frontier cross product.
+fn compose_exact(
+    frontiers: &[Vec<EvaluatedDesign>],
+    max_downtime: Duration,
+) -> Option<ServiceDesign> {
+    let sizes: Vec<usize> = frontiers.iter().map(Vec::len).collect();
+    let total: usize = sizes.iter().product();
+    let mut best: Option<(Money, Vec<usize>)> = None;
+    for flat in 0..total {
+        let mut rem = flat;
+        let mut cost = Money::ZERO;
+        let mut availability = 1.0;
+        let mut index = Vec::with_capacity(frontiers.len());
+        for (f, &size) in frontiers.iter().zip(&sizes) {
+            let i = rem % size;
+            rem /= size;
+            index.push(i);
+            cost += f[i].cost();
+            availability *= f[i].availability().availability();
+        }
+        // Prune on cost before the (cheap) downtime check for readability
+        // only — both are O(tiers).
+        if let Some((best_cost, _)) = &best {
+            if cost >= *best_cost {
+                continue;
+            }
+        }
+        let downtime = Duration::from_mins((1.0 - availability) * aved_units::MINUTES_PER_YEAR);
+        if downtime <= max_downtime {
+            best = Some((cost, index));
+        }
+    }
+    best.map(|(_, index)| {
+        let tiers: Vec<EvaluatedDesign> = index
+            .iter()
+            .zip(frontiers.iter())
+            .map(|(&i, f)| f[i].clone())
+            .collect();
+        let (cost, annual_downtime) = compose(&tiers);
+        ServiceDesign {
+            tiers,
+            cost,
+            annual_downtime,
+        }
+    })
+}
+
+/// Finds the minimum-cost multi-tier design meeting a service-level
+/// throughput and downtime requirement.
+///
+/// Following §4.1: each tier is first optimized in isolation (its own
+/// cost/downtime frontier, computed as if the other tiers never fail). If
+/// the combination of the individually-cheapest designs already meets the
+/// service downtime requirement, it is optimal. Otherwise the design is
+/// refined by repeatedly upgrading, among all tiers, the one whose next
+/// frontier step buys downtime at the lowest marginal cost — "making the
+/// requirements for that tier incrementally more aggressive" — until the
+/// service requirement holds or every frontier is exhausted.
+///
+/// # Errors
+///
+/// Returns [`SearchError`] for evaluation failures; an unsatisfiable
+/// requirement yields `Ok(None)`.
+pub fn search_service(
+    ctx: &EvalContext<'_>,
+    load: f64,
+    max_downtime: Duration,
+    options: &SearchOptions,
+) -> Result<Option<ServiceDesign>, SearchError> {
+    let tier_names: Vec<String> = ctx
+        .service()
+        .tiers()
+        .iter()
+        .map(|t| t.name().as_str().to_owned())
+        .collect();
+
+    // Per-tier frontiers, cheapest first.
+    let mut frontiers: Vec<Vec<EvaluatedDesign>> = Vec::with_capacity(tier_names.len());
+    for name in &tier_names {
+        let f = tier_pareto_frontier(ctx, name, load, options)?;
+        if f.is_empty() {
+            return Ok(None); // a tier cannot support the load at all
+        }
+        frontiers.push(f);
+    }
+
+    // Exact composition when the cross product is small (the common case:
+    // frontiers have tens of steps); greedy marginal-cost refinement as
+    // the scalable fallback.
+    let product: usize = frontiers.iter().map(Vec::len).product();
+    if product <= EXACT_COMPOSITION_LIMIT {
+        return Ok(compose_exact(&frontiers, max_downtime));
+    }
+
+    // Start from the individually-cheapest choices.
+    let mut index: Vec<usize> = vec![0; frontiers.len()];
+    loop {
+        let current: Vec<EvaluatedDesign> = index
+            .iter()
+            .zip(frontiers.iter())
+            .map(|(&i, f)| f[i].clone())
+            .collect();
+        let (cost, downtime) = compose(&current);
+        if downtime <= max_downtime {
+            return Ok(Some(ServiceDesign {
+                tiers: current,
+                cost,
+                annual_downtime: downtime,
+            }));
+        }
+        // Upgrade the tier with the best marginal downtime reduction per
+        // dollar.
+        let mut best_step: Option<(usize, f64)> = None;
+        for (t, f) in frontiers.iter().enumerate() {
+            let i = index[t];
+            if i + 1 >= f.len() {
+                continue;
+            }
+            let delta_cost = (f[i + 1].cost() - f[i].cost()).dollars();
+            let delta_downtime =
+                f[i].annual_downtime().minutes() - f[i + 1].annual_downtime().minutes();
+            if delta_downtime <= 0.0 {
+                continue;
+            }
+            let ratio = delta_cost / delta_downtime;
+            if best_step.is_none_or(|(_, r)| ratio < r) {
+                best_step = Some((t, ratio));
+            }
+        }
+        match best_step {
+            Some((t, _)) => index[t] += 1,
+            None => return Ok(None), // frontiers exhausted
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::app_tier_fixture;
+    use crate::CachingEngine;
+    use aved_avail::DecompositionEngine;
+
+    fn small_opts() -> SearchOptions {
+        SearchOptions {
+            max_extra_active: 2,
+            max_spares: 1,
+            ..SearchOptions::default()
+        }
+    }
+
+    #[test]
+    fn three_tier_service_meets_requirement() {
+        let fx = app_tier_fixture();
+        let inner = DecompositionEngine::default();
+        let engine = CachingEngine::new(&inner);
+        let ctx = fx.context(&engine);
+        let design = search_service(&ctx, 400.0, Duration::from_mins(5000.0), &small_opts())
+            .unwrap()
+            .expect("feasible");
+        assert_eq!(design.tiers().len(), 3);
+        assert!(design.annual_downtime() <= Duration::from_mins(5000.0));
+        let d = design.to_design();
+        assert!(d.tier("web").is_some());
+        assert!(d.tier("application").is_some());
+        assert!(d.tier("database").is_some());
+    }
+
+    #[test]
+    fn tighter_service_budget_costs_more() {
+        let fx = app_tier_fixture();
+        let inner = DecompositionEngine::default();
+        let engine = CachingEngine::new(&inner);
+        let ctx = fx.context(&engine);
+        let loose = search_service(&ctx, 400.0, Duration::from_mins(8000.0), &small_opts())
+            .unwrap()
+            .unwrap();
+        let tight = search_service(&ctx, 400.0, Duration::from_mins(800.0), &small_opts())
+            .unwrap()
+            .unwrap();
+        assert!(tight.cost() >= loose.cost());
+        assert!(tight.annual_downtime() <= Duration::from_mins(800.0));
+    }
+
+    #[test]
+    fn impossible_budget_returns_none() {
+        let fx = app_tier_fixture();
+        let inner = DecompositionEngine::default();
+        let engine = CachingEngine::new(&inner);
+        let ctx = fx.context(&engine);
+        let out = search_service(&ctx, 400.0, Duration::from_secs(0.0001), &small_opts()).unwrap();
+        assert!(out.is_none());
+    }
+
+    #[test]
+    fn service_downtime_dominates_each_tier() {
+        // Service downtime (series) is at least every single tier's.
+        let fx = app_tier_fixture();
+        let inner = DecompositionEngine::default();
+        let engine = CachingEngine::new(&inner);
+        let ctx = fx.context(&engine);
+        let design = search_service(&ctx, 800.0, Duration::from_mins(6000.0), &small_opts())
+            .unwrap()
+            .unwrap();
+        for tier in design.tiers() {
+            assert!(design.annual_downtime() >= tier.annual_downtime() * 0.999);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Shared test fixtures: the paper's example models, parsed from the
+//! repository's `data/` specification files.
+
+use aved_avail::AvailabilityEngine;
+use aved_model::{Infrastructure, Service};
+use aved_perf::Catalog;
+
+use crate::EvalContext;
+
+/// A bundle of models sufficient to build an [`EvalContext`].
+pub struct Fixture {
+    pub infrastructure: Infrastructure,
+    pub service: Service,
+    pub catalog: Catalog,
+}
+
+impl Fixture {
+    /// Builds a context borrowing this fixture and the given engine.
+    pub fn context<'a>(&'a self, engine: &'a dyn AvailabilityEngine) -> EvalContext<'a> {
+        EvalContext::new(&self.infrastructure, &self.service, &self.catalog, engine)
+    }
+}
+
+fn infrastructure() -> Infrastructure {
+    aved_spec::parse_infrastructure(include_str!("../../../data/infrastructure.aved"))
+        .expect("bundled infrastructure spec parses")
+}
+
+/// The paper's e-commerce service (Fig. 4) on the Fig. 3 infrastructure.
+pub fn app_tier_fixture() -> Fixture {
+    Fixture {
+        infrastructure: infrastructure(),
+        service: aved_spec::parse_service(include_str!("../../../data/ecommerce.aved"))
+            .expect("bundled e-commerce spec parses"),
+        catalog: aved_perf::paper::catalog(),
+    }
+}
+
+/// The paper's scientific application (Fig. 5) on the Fig. 3
+/// infrastructure.
+pub fn job_fixture() -> Fixture {
+    Fixture {
+        infrastructure: infrastructure(),
+        service: aved_spec::parse_service(include_str!("../../../data/scientific.aved"))
+            .expect("bundled scientific spec parses"),
+        catalog: aved_perf::paper::catalog(),
+    }
+}

@@ -1,0 +1,563 @@
+//! The per-tier search algorithm of paper §4.1.
+
+use aved_units::Duration;
+
+use crate::{
+    enumerate_tier_candidates, evaluate_enterprise_design, evaluate_job_design, EvalContext,
+    EvaluatedDesign, SearchError, SearchOptions,
+};
+
+/// Counters describing how much work a search did — the basis of the
+/// pruning-effectiveness ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchStats {
+    /// Candidates whose cost was computed.
+    pub cost_evaluations: usize,
+    /// Candidates whose availability (or completion time) was evaluated.
+    pub quality_evaluations: usize,
+    /// Candidates rejected on cost alone after a feasible design was known
+    /// ("subsequent designs are evaluated for cost first ... and higher
+    /// cost designs are rejected without evaluating their availability").
+    pub pruned_by_cost: usize,
+    /// Resource-count levels explored across all options.
+    pub totals_explored: usize,
+}
+
+/// The outcome of a tier search.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SearchOutcome {
+    /// A minimum-cost feasible design was found.
+    Found {
+        /// The winning design and its evaluation.
+        best: EvaluatedDesign,
+        /// Work counters.
+        stats: SearchStats,
+    },
+    /// No design in the (bounded) space satisfies the requirement.
+    Infeasible {
+        /// Work counters.
+        stats: SearchStats,
+    },
+}
+
+impl SearchOutcome {
+    /// The winning design, if any.
+    #[must_use]
+    pub fn best(&self) -> Option<&EvaluatedDesign> {
+        match self {
+            SearchOutcome::Found { best, .. } => Some(best),
+            SearchOutcome::Infeasible { .. } => None,
+        }
+    }
+
+    /// The work counters.
+    #[must_use]
+    pub fn stats(&self) -> &SearchStats {
+        match self {
+            SearchOutcome::Found { stats, .. } | SearchOutcome::Infeasible { stats } => stats,
+        }
+    }
+}
+
+/// How many consecutive resource-count levels may fail to improve quality
+/// before an unsatisfied search concludes infeasibility.
+const DEGRADE_PATIENCE: usize = 2;
+
+/// Searches one enterprise-service tier for the minimum-cost design meeting
+/// a throughput (`load`) and annual-downtime requirement, per §4.1:
+///
+/// 1. every resource option of the tier is searched;
+/// 2. for an option, the resource count starts at the minimum meeting the
+///    load with no failures and grows;
+/// 3. at each count, all active/spare splits, spare modes and mechanism
+///    settings are candidates;
+/// 4. once any feasible design is known, candidates are screened by cost
+///    first and discarded without availability evaluation if they cannot
+///    win;
+/// 5. an option's count stops growing when even the cheapest candidate at
+///    the current count costs more than the best design found, or when
+///    downtime keeps degrading with added resources while nothing is
+///    feasible.
+///
+/// # Errors
+///
+/// Returns [`SearchError`] for unknown tiers or evaluation failures.
+pub fn search_tier(
+    ctx: &EvalContext<'_>,
+    tier_name: &str,
+    load: f64,
+    max_downtime: Duration,
+    options: &SearchOptions,
+) -> Result<SearchOutcome, SearchError> {
+    let tier = ctx.tier(tier_name)?;
+    let mut stats = SearchStats::default();
+    let mut best: Option<EvaluatedDesign> = None;
+
+    for option in tier.options() {
+        let perf = ctx.catalog().resolve_perf(option.performance())?;
+        let Some(min_perf) = perf.min_active_for(load) else {
+            continue; // this option can never meet the load
+        };
+        let Some(start_active) = option.n_active().next_at_or_above(min_perf.max(1)) else {
+            continue;
+        };
+        let max_total = start_active + options.max_extra_active + options.max_spares;
+
+        let mut best_quality_prev: Option<Duration> = None;
+        let mut degrading = 0_usize;
+        for n_total in start_active..=max_total {
+            let candidates = enumerate_tier_candidates(
+                ctx.infrastructure(),
+                tier.name(),
+                option,
+                n_total,
+                start_active,
+                options,
+            );
+            if candidates.is_empty() {
+                continue;
+            }
+            stats.totals_explored += 1;
+
+            // Cost is cheap: compute for all candidates and sort ascending
+            // so pruning can stop at the first over-budget candidate.
+            let mut costed: Vec<(aved_units::Money, &aved_model::TierDesign)> = candidates
+                .iter()
+                .map(|td| {
+                    stats.cost_evaluations += 1;
+                    aved_model::tier_design_cost(ctx.infrastructure(), td).map(|c| (c.total(), td))
+                })
+                .collect::<Result<_, _>>()?;
+            costed.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+            // Termination: every candidate at this count (and, since cost
+            // grows with the count, at later counts) costs more than the
+            // incumbent.
+            if let Some(b) = &best {
+                if costed.first().is_some_and(|(c, _)| *c > b.cost()) {
+                    break;
+                }
+            }
+
+            let mut best_quality_here: Option<Duration> = None;
+            for (cost, td) in costed {
+                if let Some(b) = &best {
+                    // Strictly more expensive candidates cannot win; equal
+                    // cost still competes on downtime (tie-breaking keeps
+                    // the search deterministic and quality-optimal within
+                    // the winning cost).
+                    if cost > b.cost() {
+                        stats.pruned_by_cost += 1;
+                        continue;
+                    }
+                }
+                let Some(evaluated) = evaluate_enterprise_design(ctx, option, td, load)? else {
+                    continue;
+                };
+                stats.quality_evaluations += 1;
+                let downtime = evaluated.annual_downtime();
+                if best_quality_here.is_none_or(|q| downtime < q) {
+                    best_quality_here = Some(downtime);
+                }
+                let wins = downtime <= max_downtime
+                    && best.as_ref().is_none_or(|b| {
+                        evaluated.cost() < b.cost()
+                            || (evaluated.cost() == b.cost() && downtime < b.annual_downtime())
+                    });
+                if wins {
+                    best = Some(evaluated);
+                }
+            }
+
+            // Infeasibility detection: adding resources no longer improves
+            // the best achievable downtime.
+            if best.is_none() {
+                match (best_quality_prev, best_quality_here) {
+                    (Some(prev), Some(here)) if here >= prev => degrading += 1,
+                    (_, Some(_)) => degrading = 0,
+                    _ => {}
+                }
+                if degrading >= DEGRADE_PATIENCE {
+                    break;
+                }
+            }
+            if let Some(q) = best_quality_here {
+                best_quality_prev = Some(q);
+            }
+        }
+    }
+
+    Ok(match best {
+        Some(best) => SearchOutcome::Found { best, stats },
+        None => SearchOutcome::Infeasible { stats },
+    })
+}
+
+/// Searches a finite-job tier for the minimum-cost design whose expected
+/// completion time meets `max_execution_time`. Same structure as
+/// [`search_tier`] with completion time as the quality metric; the count
+/// starts at the smallest node count whose failure-free time meets the
+/// requirement (no point below it) and grows from there.
+///
+/// # Errors
+///
+/// Returns [`SearchError`] for unknown tiers, services without a job size,
+/// or evaluation failures.
+pub fn search_job_tier(
+    ctx: &EvalContext<'_>,
+    tier_name: &str,
+    max_execution_time: Duration,
+    options: &SearchOptions,
+) -> Result<SearchOutcome, SearchError> {
+    let tier = ctx.tier(tier_name)?;
+    let job_size = ctx
+        .service()
+        .job_size()
+        .ok_or_else(|| SearchError::RequirementMismatch {
+            detail: "service declares no jobsize".into(),
+        })?;
+    let mut stats = SearchStats::default();
+    let mut best: Option<EvaluatedDesign> = None;
+
+    for option in tier.options() {
+        let perf = ctx.catalog().resolve_perf(option.performance())?;
+        // Failure-free lower bound on throughput demand: finishing a job of
+        // `job_size` within T requires throughput >= job_size / T.
+        let needed_throughput = job_size / max_execution_time.hours();
+        let Some(min_nodes) = perf.min_active_for(needed_throughput) else {
+            continue;
+        };
+        let Some(start_active) = option.n_active().next_at_or_above(min_nodes.max(1)) else {
+            continue;
+        };
+        // Unlike the enterprise search, job designs often need resources
+        // well beyond the failure-free minimum: checkpoint overhead and
+        // re-execution inflate the wall-clock time, and only more (or
+        // faster) nodes claw it back. Growth is therefore bounded only by
+        // the option's own nActive ceiling (plus spares); the cost and
+        // degradation rules below terminate the scan long before that in
+        // practice.
+        let max_total = option
+            .n_active()
+            .max_value()
+            .unwrap_or(start_active)
+            .saturating_add(options.max_spares);
+
+        let mut best_quality_prev: Option<Duration> = None;
+        let mut degrading = 0_usize;
+        for n_total in start_active..=max_total {
+            let candidates = enumerate_tier_candidates(
+                ctx.infrastructure(),
+                tier.name(),
+                option,
+                n_total,
+                start_active,
+                options,
+            );
+            if candidates.is_empty() {
+                continue;
+            }
+            stats.totals_explored += 1;
+            let mut costed: Vec<(aved_units::Money, &aved_model::TierDesign)> = candidates
+                .iter()
+                .map(|td| {
+                    stats.cost_evaluations += 1;
+                    aved_model::tier_design_cost(ctx.infrastructure(), td).map(|c| (c.total(), td))
+                })
+                .collect::<Result<_, _>>()?;
+            costed.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+            if let Some(b) = &best {
+                if costed.first().is_some_and(|(c, _)| *c > b.cost()) {
+                    break;
+                }
+            }
+
+            let mut best_quality_here: Option<Duration> = None;
+            for (cost, td) in costed {
+                if let Some(b) = &best {
+                    // Equal-cost candidates still compete on completion
+                    // time: checkpoint settings are free, and Fig. 7 reports
+                    // the quality-optimal interval within the winning
+                    // configuration.
+                    if cost > b.cost() {
+                        stats.pruned_by_cost += 1;
+                        continue;
+                    }
+                }
+                let Some(evaluated) = evaluate_job_design(ctx, option, td)? else {
+                    continue;
+                };
+                stats.quality_evaluations += 1;
+                let time = evaluated
+                    .expected_job_time()
+                    .expect("job evaluation always yields a completion time");
+                if best_quality_here.is_none_or(|q| time < q) {
+                    best_quality_here = Some(time);
+                }
+                let wins = time <= max_execution_time
+                    && best.as_ref().is_none_or(|b| {
+                        evaluated.cost() < b.cost()
+                            || (evaluated.cost() == b.cost()
+                                && time < b.expected_job_time().expect("job evaluation"))
+                    });
+                if wins {
+                    best = Some(evaluated);
+                }
+            }
+
+            if best.is_none() {
+                // Degradation includes "no meaningful progress": near a
+                // performance asymptote the completion time improves by
+                // vanishing amounts per added node while cost keeps
+                // climbing, so sub-0.1% steps also count down the patience.
+                match (best_quality_prev, best_quality_here) {
+                    (Some(prev), Some(here)) if here >= prev * 0.999 => degrading += 1,
+                    (_, Some(_)) => degrading = 0,
+                    _ => {}
+                }
+                if degrading >= DEGRADE_PATIENCE {
+                    break;
+                }
+            }
+            if let Some(q) = best_quality_here {
+                best_quality_prev = Some(q);
+            }
+        }
+    }
+
+    Ok(match best {
+        Some(best) => SearchOutcome::Found { best, stats },
+        None => SearchOutcome::Infeasible { stats },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::{app_tier_fixture, job_fixture};
+    use crate::CachingEngine;
+    use aved_avail::DecompositionEngine;
+    use aved_model::ParamValue;
+    use aved_units::Duration;
+
+    fn opts() -> SearchOptions {
+        SearchOptions {
+            max_extra_active: 3,
+            max_spares: 2,
+            ..SearchOptions::default()
+        }
+    }
+
+    #[test]
+    fn loose_requirement_picks_cheapest_family() {
+        // Huge downtime budget: the minimum design (bronze, no redundancy,
+        // machineA-based) must win — the paper's family 1.
+        let fx = app_tier_fixture();
+        let engine = DecompositionEngine::default();
+        let ctx = fx.context(&engine);
+        let out = search_tier(
+            &ctx,
+            "application",
+            400.0,
+            Duration::from_mins(10_000.0),
+            &opts(),
+        )
+        .unwrap();
+        let best = out.best().expect("feasible");
+        assert_eq!(best.design().resource().as_str(), "rC");
+        assert_eq!(best.design().n_active(), 2);
+        assert_eq!(best.design().n_spare(), 0);
+        assert_eq!(
+            best.design().setting("maintenanceA", "level"),
+            Some(&ParamValue::Level("bronze".into()))
+        );
+    }
+
+    #[test]
+    fn tight_requirement_buys_redundancy_or_contract() {
+        let fx = app_tier_fixture();
+        let engine = DecompositionEngine::default();
+        let ctx = fx.context(&engine);
+        let loose = search_tier(
+            &ctx,
+            "application",
+            400.0,
+            Duration::from_mins(10_000.0),
+            &opts(),
+        )
+        .unwrap();
+        let tight = search_tier(
+            &ctx,
+            "application",
+            400.0,
+            Duration::from_mins(50.0),
+            &opts(),
+        )
+        .unwrap();
+        let (loose, tight) = (loose.best().unwrap(), tight.best().unwrap());
+        assert!(tight.cost() > loose.cost());
+        assert!(tight.annual_downtime() <= Duration::from_mins(50.0));
+        // It buys either an upgraded contract, extra actives or a spare.
+        let upgraded = tight.design().setting("maintenanceA", "level")
+            != Some(&ParamValue::Level("bronze".into()));
+        let redundant = tight.design().n_total() > loose.design().n_total();
+        assert!(upgraded || redundant);
+    }
+
+    #[test]
+    fn impossible_requirement_is_infeasible() {
+        // With redundancy forbidden, every design keeps thousands of
+        // minutes of annual downtime; a 0.001-minute budget is unreachable.
+        let fx = app_tier_fixture();
+        let engine = DecompositionEngine::default();
+        let ctx = fx.context(&engine);
+        let no_redundancy = SearchOptions {
+            max_extra_active: 0,
+            max_spares: 0,
+            ..SearchOptions::default()
+        };
+        let out = search_tier(
+            &ctx,
+            "application",
+            400.0,
+            Duration::from_mins(0.001),
+            &no_redundancy,
+        )
+        .unwrap();
+        assert!(out.best().is_none());
+        assert!(out.stats().quality_evaluations > 0);
+    }
+
+    #[test]
+    fn infeasible_load_is_detected() {
+        // The database tier's constant performance function caps at 10000.
+        let fx = app_tier_fixture();
+        let engine = DecompositionEngine::default();
+        let ctx = fx.context(&engine);
+        let out = search_tier(
+            &ctx,
+            "database",
+            20_000.0,
+            Duration::from_mins(10_000.0),
+            &opts(),
+        )
+        .unwrap();
+        assert!(out.best().is_none());
+        assert_eq!(out.stats().quality_evaluations, 0);
+    }
+
+    #[test]
+    fn pruning_kicks_in_after_first_feasible() {
+        let fx = app_tier_fixture();
+        let engine = DecompositionEngine::default();
+        let ctx = fx.context(&engine);
+        let out = search_tier(
+            &ctx,
+            "application",
+            800.0,
+            Duration::from_mins(500.0),
+            &opts(),
+        )
+        .unwrap();
+        assert!(out.best().is_some());
+        assert!(out.stats().pruned_by_cost > 0, "stats: {:?}", out.stats());
+    }
+
+    #[test]
+    fn pruned_search_matches_exhaustive_optimum() {
+        // Validation of the cost-first pruning: evaluate everything the
+        // search space contains and compare optima.
+        let fx = app_tier_fixture();
+        let engine = DecompositionEngine::default();
+        let ctx = fx.context(&engine);
+        let o = opts();
+        let load = 1000.0;
+        let budget = Duration::from_mins(100.0);
+        let fast = search_tier(&ctx, "application", load, budget, &o).unwrap();
+
+        let tier = ctx.tier("application").unwrap();
+        let mut exhaustive_best: Option<crate::EvaluatedDesign> = None;
+        for option in tier.options() {
+            let perf = ctx.catalog().resolve_perf(option.performance()).unwrap();
+            let Some(min_perf) = perf.min_active_for(load) else {
+                continue;
+            };
+            for n_total in min_perf..=min_perf + o.max_extra_active + o.max_spares {
+                for td in enumerate_tier_candidates(
+                    ctx.infrastructure(),
+                    tier.name(),
+                    option,
+                    n_total,
+                    min_perf,
+                    &o,
+                ) {
+                    if let Some(e) = evaluate_enterprise_design(&ctx, option, &td, load).unwrap() {
+                        if e.annual_downtime() <= budget
+                            && exhaustive_best.as_ref().is_none_or(|b| e.cost() < b.cost())
+                        {
+                            exhaustive_best = Some(e);
+                        }
+                    }
+                }
+            }
+        }
+        let fast_best = fast.best().unwrap();
+        let exhaustive_best = exhaustive_best.unwrap();
+        assert_eq!(fast_best.cost(), exhaustive_best.cost());
+        assert_eq!(fast_best.design(), exhaustive_best.design());
+    }
+
+    #[test]
+    fn job_search_finds_feasible_design() {
+        let fx = job_fixture();
+        let inner = DecompositionEngine::default();
+        let engine = CachingEngine::new(&inner);
+        let ctx = fx.context(&engine);
+        let o = SearchOptions {
+            max_extra_active: 2,
+            max_spares: 1,
+            ..SearchOptions::default()
+        }
+        .with_pin("maintenanceA", "level", ParamValue::Level("bronze".into()))
+        .with_pin("maintenanceB", "level", ParamValue::Level("bronze".into()));
+        let out = search_job_tier(&ctx, "computation", Duration::from_hours(200.0), &o).unwrap();
+        let best = out.best().expect("feasible");
+        let t = best.expected_job_time().unwrap();
+        assert!(t <= Duration::from_hours(200.0));
+        // Loose requirement: the cheap machineA-based resource wins.
+        assert_eq!(best.design().resource().as_str(), "rH");
+        assert!(engine.hits() > 0, "availability cache should be exercised");
+    }
+
+    #[test]
+    fn job_search_tightening_requirement_raises_cost() {
+        let fx = job_fixture();
+        let inner = DecompositionEngine::default();
+        let engine = CachingEngine::new(&inner);
+        let ctx = fx.context(&engine);
+        let o = SearchOptions {
+            max_extra_active: 2,
+            max_spares: 1,
+            ..SearchOptions::default()
+        }
+        .with_pin("maintenanceA", "level", ParamValue::Level("bronze".into()))
+        .with_pin("maintenanceB", "level", ParamValue::Level("bronze".into()));
+        let loose = search_job_tier(&ctx, "computation", Duration::from_hours(500.0), &o).unwrap();
+        let tight = search_job_tier(&ctx, "computation", Duration::from_hours(50.0), &o).unwrap();
+        let (loose, tight) = (loose.best().unwrap(), tight.best().unwrap());
+        assert!(tight.cost() > loose.cost());
+        assert!(tight.design().n_active() > loose.design().n_active());
+    }
+
+    #[test]
+    fn unknown_tier_is_an_error() {
+        let fx = app_tier_fixture();
+        let engine = DecompositionEngine::default();
+        let ctx = fx.context(&engine);
+        assert!(matches!(
+            search_tier(&ctx, "ghost", 1.0, Duration::from_mins(1.0), &opts()),
+            Err(SearchError::UnknownTier { .. })
+        ));
+    }
+}

@@ -1,0 +1,118 @@
+//! Validation of the multi-tier greedy refinement against brute force:
+//! on truncated per-tier frontiers, the greedy marginal-cost composition
+//! must find a design whose cost matches the exhaustive optimum over all
+//! frontier combinations.
+
+use aved_avail::DecompositionEngine;
+use aved_search::{
+    search_service, tier_pareto_frontier, CachingEngine, EvalContext, SearchOptions,
+};
+use aved_units::Duration;
+
+fn fixture() -> (
+    aved_model::Infrastructure,
+    aved_model::Service,
+    aved_perf::Catalog,
+) {
+    let infra =
+        aved_spec::parse_infrastructure(include_str!("../../../data/infrastructure.aved")).unwrap();
+    let svc = aved_spec::parse_service(include_str!("../../../data/ecommerce.aved")).unwrap();
+    (infra, svc, aved_perf::paper::catalog())
+}
+
+/// Exhaustively composes one design per tier from the frontiers and finds
+/// the cheapest combination meeting the budget (series composition).
+fn brute_force_cost(
+    ctx: &EvalContext<'_>,
+    load: f64,
+    budget: Duration,
+    options: &SearchOptions,
+) -> Option<f64> {
+    let mut frontiers = Vec::new();
+    for tier in ctx.service().tiers() {
+        let f = tier_pareto_frontier(ctx, tier.name().as_str(), load, options).unwrap();
+        if f.is_empty() {
+            return None;
+        }
+        frontiers.push(f);
+    }
+    let mut best: Option<f64> = None;
+    let sizes: Vec<usize> = frontiers.iter().map(Vec::len).collect();
+    let total: usize = sizes.iter().product();
+    for mut idx in 0..total {
+        let mut cost = 0.0;
+        let mut availability = 1.0;
+        for (f, &size) in frontiers.iter().zip(&sizes) {
+            let choice = &f[idx % size];
+            idx /= size;
+            cost += choice.cost().dollars();
+            availability *= choice.availability().availability();
+        }
+        let downtime_mins = (1.0 - availability) * aved_units::MINUTES_PER_YEAR;
+        if downtime_mins <= budget.minutes() && best.is_none_or(|b| cost < b) {
+            best = Some(cost);
+        }
+    }
+    best
+}
+
+#[test]
+fn greedy_matches_brute_force_on_small_frontiers() {
+    let (infra, svc, catalog) = fixture();
+    let inner = DecompositionEngine::default();
+    let engine = CachingEngine::new(&inner);
+    let ctx = EvalContext::new(&infra, &svc, &catalog, &engine);
+    // Small frontier bounds keep the cross product tractable.
+    let options = SearchOptions {
+        max_extra_active: 1,
+        max_spares: 1,
+        ..SearchOptions::default()
+    };
+    for budget_mins in [8000.0, 2000.0, 600.0] {
+        let budget = Duration::from_mins(budget_mins);
+        let greedy = search_service(&ctx, 400.0, budget, &options).unwrap();
+        let brute = brute_force_cost(&ctx, 400.0, budget, &options);
+        match (greedy, brute) {
+            (Some(g), Some(b)) => {
+                // Greedy marginal-cost refinement on monotone frontiers can
+                // in principle stop at a slightly costlier point; require
+                // it to be within 5% of the true optimum and assert the
+                // budget is respected.
+                assert!(
+                    g.cost().dollars() <= b * 1.05 + 1e-6,
+                    "budget {budget_mins}: greedy {} vs brute {b}",
+                    g.cost().dollars()
+                );
+                assert!(g.annual_downtime() <= budget);
+            }
+            (None, None) => {}
+            (g, b) => panic!("budget {budget_mins}: greedy {g:?} vs brute {b:?}"),
+        }
+    }
+}
+
+#[test]
+fn greedy_is_exact_when_one_tier_dominates() {
+    // With the database tier fixed (single option, nActive=[1]) and a very
+    // tight budget, the upgrade path is essentially one-dimensional and
+    // greedy must be exactly optimal.
+    let (infra, svc, catalog) = fixture();
+    let inner = DecompositionEngine::default();
+    let engine = CachingEngine::new(&inner);
+    let ctx = EvalContext::new(&infra, &svc, &catalog, &engine);
+    let options = SearchOptions {
+        max_extra_active: 1,
+        max_spares: 1,
+        ..SearchOptions::default()
+    };
+    let budget = Duration::from_mins(300.0);
+    let greedy = search_service(&ctx, 400.0, budget, &options)
+        .unwrap()
+        .expect("feasible");
+    let brute = brute_force_cost(&ctx, 400.0, budget, &options).expect("feasible");
+    assert!(
+        (greedy.cost().dollars() - brute).abs() < 1e-6,
+        "greedy {} vs brute {brute}",
+        greedy.cost().dollars()
+    );
+}

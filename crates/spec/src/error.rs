@@ -1,0 +1,100 @@
+//! Parse errors with line information.
+
+use std::error::Error;
+use std::fmt;
+
+/// The category of a specification parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpecErrorKind {
+    /// A token could not be lexed (unterminated bracket, missing `=`, ...).
+    Lex(String),
+    /// A value had the wrong shape (expected a duration, list, ...).
+    Value(String),
+    /// An attribute appeared in the wrong context or a required attribute
+    /// is missing.
+    Structure(String),
+    /// The parsed model failed semantic validation.
+    Model(aved_model::ModelError),
+}
+
+/// An error produced while parsing a specification document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecError {
+    line: usize,
+    kind: SpecErrorKind,
+}
+
+impl SpecError {
+    /// Creates an error at a 1-based line number (0 for whole-document
+    /// errors).
+    #[must_use]
+    pub fn new(line: usize, kind: SpecErrorKind) -> SpecError {
+        SpecError { line, kind }
+    }
+
+    /// The 1-based line number (0 when not tied to a line).
+    #[must_use]
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// The error category and message.
+    #[must_use]
+    pub fn kind(&self) -> &SpecErrorKind {
+        &self.kind
+    }
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: ", self.line)?;
+        }
+        match &self.kind {
+            SpecErrorKind::Lex(m) => write!(f, "lex error: {m}"),
+            SpecErrorKind::Value(m) => write!(f, "value error: {m}"),
+            SpecErrorKind::Structure(m) => write!(f, "structure error: {m}"),
+            SpecErrorKind::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl Error for SpecError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match &self.kind {
+            SpecErrorKind::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<aved_model::ModelError> for SpecError {
+    fn from(e: aved_model::ModelError) -> SpecError {
+        SpecError::new(0, SpecErrorKind::Model(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = SpecError::new(42, SpecErrorKind::Lex("bad token".into()));
+        assert!(e.to_string().contains("line 42"));
+        assert!(e.to_string().contains("bad token"));
+    }
+
+    #[test]
+    fn document_level_errors_omit_line() {
+        let e = SpecError::new(0, SpecErrorKind::Structure("no application".into()));
+        assert!(!e.to_string().contains("line"));
+    }
+
+    #[test]
+    fn model_errors_chain_as_source() {
+        let e: SpecError = aved_model::ModelError::Invalid { detail: "x".into() }.into();
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,85 @@
+//! Parser for the Aved specification language.
+//!
+//! The paper specifies infrastructure and service models "as a structured
+//! list of attribute-value pairs" (Figs. 3–5). This crate parses that
+//! syntax into the `aved-model` types, and can write models back out in the
+//! same syntax.
+//!
+//! # Syntax overview
+//!
+//! ```text
+//! \\ comment to end of line
+//! component=machineA cost([inactive,active])=[2400 2640]
+//!   failure=hard mtbf=650d mttr=<maintenanceA> detect_time=2m
+//!   failure=soft mtbf=75d mttr=0 detect_time=0
+//! mechanism=maintenanceA
+//!   param=level range=[bronze,silver,gold,platinum]
+//!   cost(level)=[380 580 760 1500]
+//!   mttr(level)=[38h 15h 8h 6h]
+//! resource=rA reconfig_time=0
+//!   component=machineA depend=null startup=30s
+//! ```
+//!
+//! and, for services,
+//!
+//! ```text
+//! application=scientific jobsize=10000
+//!   tier=computation
+//!     resource=rH sizing=static failurescope=tier
+//!       nActive=[1-1000,+1] performance(nActive)=perfH.dat
+//!       mechanism=checkpoint mperformance(storage_location,
+//!         checkpoint_interval,nActive)=mperfH.dat
+//! ```
+//!
+//! Indentation is not significant; structure follows from the leading
+//! attribute of each line (`component=`, `failure=`, `mechanism=`, ...),
+//! exactly as in the paper's figures.
+//!
+//! # Examples
+//!
+//! ```
+//! let text = "\
+//! component=node cost([inactive,active])=[100 110]
+//!   failure=soft mtbf=30d mttr=0 detect_time=30s
+//! resource=rX reconfig_time=0
+//!   component=node depend=null startup=1m
+//! ";
+//! let infra = aved_spec::parse_infrastructure(text)?;
+//! assert!(infra.component("node").is_some());
+//! assert!(infra.resource("rX").is_some());
+//! # Ok::<(), aved_spec::SpecError>(())
+//! ```
+
+mod error;
+mod infra;
+mod lex;
+mod requirements;
+mod service;
+mod write;
+
+pub use error::{SpecError, SpecErrorKind};
+pub use infra::parse_infrastructure;
+pub use lex::{lex_document, Attr, Line, Value};
+pub use requirements::{parse_requirement, write_requirement};
+pub use service::parse_services;
+pub use write::{write_infrastructure, write_service};
+
+/// Parses a document containing exactly one service/application model.
+///
+/// # Errors
+///
+/// Returns [`SpecError`] on syntax errors or if the document does not
+/// contain exactly one `application=` section.
+pub fn parse_service(text: &str) -> Result<aved_model::Service, SpecError> {
+    let mut services = parse_services(text)?;
+    if services.len() != 1 {
+        return Err(SpecError::new(
+            0,
+            SpecErrorKind::Structure(format!(
+                "expected exactly one application, found {}",
+                services.len()
+            )),
+        ));
+    }
+    Ok(services.remove(0))
+}

@@ -1,0 +1,457 @@
+//! Time spans with the paper's `s`/`m`/`h`/`d` unit syntax.
+
+use std::error::Error;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Rate;
+
+/// A non-negative span of time.
+///
+/// Internally stored as seconds in an `f64`, which comfortably covers the
+/// range used by availability models (sub-second detection latencies up to
+/// multi-year MTBFs) with plenty of precision.
+///
+/// `Duration` supports the textual syntax of the Aved specification language:
+/// a decimal number followed by a one-letter unit, one of `s` (seconds), `m`
+/// (minutes), `h` (hours) or `d` (days). A bare `0` without a unit is also
+/// accepted because the paper's example specifications write `mttr=0`.
+///
+/// # Examples
+///
+/// ```
+/// use aved_units::Duration;
+///
+/// let detect: Duration = "2m".parse()?;
+/// let repair: Duration = "38h".parse()?;
+/// assert_eq!((detect + repair).minutes(), 2.0 + 38.0 * 60.0);
+/// # Ok::<(), aved_units::ParseDurationError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Duration {
+    seconds: f64,
+}
+
+impl Duration {
+    /// The zero-length duration.
+    pub const ZERO: Duration = Duration { seconds: 0.0 };
+
+    /// Creates a duration from a number of seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is negative or NaN; durations are non-negative by
+    /// construction so that availability math never sees negative time.
+    #[must_use]
+    pub fn from_secs(seconds: f64) -> Duration {
+        assert!(
+            seconds >= 0.0 && !seconds.is_nan(),
+            "duration must be non-negative and finite-or-inf, got {seconds}"
+        );
+        Duration { seconds }
+    }
+
+    /// Creates a duration from a number of minutes.
+    #[must_use]
+    pub fn from_mins(minutes: f64) -> Duration {
+        Duration::from_secs(minutes * 60.0)
+    }
+
+    /// Creates a duration from a number of hours.
+    #[must_use]
+    pub fn from_hours(hours: f64) -> Duration {
+        Duration::from_secs(hours * 3600.0)
+    }
+
+    /// Creates a duration from a number of days.
+    #[must_use]
+    pub fn from_days(days: f64) -> Duration {
+        Duration::from_secs(days * 86_400.0)
+    }
+
+    /// Creates a duration from a number of (8760-hour) years.
+    #[must_use]
+    pub fn from_years(years: f64) -> Duration {
+        Duration::from_secs(years * crate::SECONDS_PER_YEAR)
+    }
+
+    /// The duration expressed in seconds.
+    #[must_use]
+    pub fn seconds(self) -> f64 {
+        self.seconds
+    }
+
+    /// The duration expressed in minutes.
+    #[must_use]
+    pub fn minutes(self) -> f64 {
+        self.seconds / 60.0
+    }
+
+    /// The duration expressed in hours.
+    #[must_use]
+    pub fn hours(self) -> f64 {
+        self.seconds / 3600.0
+    }
+
+    /// The duration expressed in days.
+    #[must_use]
+    pub fn days(self) -> f64 {
+        self.seconds / 86_400.0
+    }
+
+    /// The duration expressed in 8760-hour years.
+    #[must_use]
+    pub fn years(self) -> f64 {
+        self.seconds / crate::SECONDS_PER_YEAR
+    }
+
+    /// Whether this is the zero duration.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.seconds == 0.0
+    }
+
+    /// The event rate corresponding to one event per this duration.
+    ///
+    /// A zero duration maps to an infinite rate; availability models treat
+    /// `mttr=0` components as repairing "instantly" relative to the model's
+    /// resolution, so the infinity never propagates into a solver (callers
+    /// special-case zero repair times).
+    #[must_use]
+    pub fn rate(self) -> Rate {
+        Rate::per_seconds(self.seconds)
+    }
+
+    /// Element-wise minimum of two durations.
+    #[must_use]
+    pub fn min(self, other: Duration) -> Duration {
+        if self.seconds <= other.seconds {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Element-wise maximum of two durations.
+    #[must_use]
+    pub fn max(self, other: Duration) -> Duration {
+        if self.seconds >= other.seconds {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration::from_secs(self.seconds + rhs.seconds)
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.seconds += rhs.seconds;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    /// Saturating subtraction: durations never go negative.
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration::from_secs((self.seconds - rhs.seconds).max(0.0))
+    }
+}
+
+impl SubAssign for Duration {
+    fn sub_assign(&mut self, rhs: Duration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: f64) -> Duration {
+        Duration::from_secs(self.seconds * rhs)
+    }
+}
+
+impl Mul<Duration> for f64 {
+    type Output = Duration;
+    fn mul(self, rhs: Duration) -> Duration {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Duration {
+    type Output = Duration;
+    fn div(self, rhs: f64) -> Duration {
+        Duration::from_secs(self.seconds / rhs)
+    }
+}
+
+impl Div<Duration> for Duration {
+    type Output = f64;
+    /// Dimensionless ratio of two durations.
+    fn div(self, rhs: Duration) -> f64 {
+        self.seconds / rhs.seconds
+    }
+}
+
+impl Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        iter.fold(Duration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Duration {
+    /// Formats using the largest unit that yields an integral value
+    /// (`2m`, `38h`); for fractional durations, the largest unit with a
+    /// value of at least one is used with Rust's shortest-round-trip float
+    /// formatting, so `parse(display(d))` always recovers `d` to within a
+    /// unit conversion's rounding.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.seconds;
+        if s == 0.0 {
+            return write!(f, "0s");
+        }
+        for (unit, factor) in [("d", 86_400.0), ("h", 3600.0), ("m", 60.0)] {
+            let v = s / factor;
+            if v >= 1.0 && (v - v.round()).abs() < 1e-9 {
+                return write!(f, "{}{}", v.round(), unit);
+            }
+        }
+        if (s - s.round()).abs() < 1e-9 {
+            return write!(f, "{}s", s.round());
+        }
+        for (unit, factor) in [("d", 86_400.0), ("h", 3600.0), ("m", 60.0)] {
+            let v = s / factor;
+            if v >= 1.0 {
+                return write!(f, "{v}{unit}");
+            }
+        }
+        write!(f, "{s}s")
+    }
+}
+
+/// Error produced when parsing a [`Duration`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDurationError {
+    input: String,
+    reason: &'static str,
+}
+
+impl ParseDurationError {
+    pub(crate) fn new(input: &str, reason: &'static str) -> ParseDurationError {
+        ParseDurationError {
+            input: input.to_owned(),
+            reason,
+        }
+    }
+
+    /// The offending input text.
+    #[must_use]
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+}
+
+impl fmt::Display for ParseDurationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid duration {:?}: {}", self.input, self.reason)
+    }
+}
+
+impl Error for ParseDurationError {}
+
+impl FromStr for Duration {
+    type Err = ParseDurationError;
+
+    fn from_str(s: &str) -> Result<Duration, ParseDurationError> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(ParseDurationError::new(s, "empty string"));
+        }
+        let (number, unit) = match s.char_indices().last() {
+            Some((idx, c)) if c.is_ascii_alphabetic() => (&s[..idx], Some(c)),
+            _ => (s, None),
+        };
+        let value: f64 = number
+            .parse()
+            .map_err(|_| ParseDurationError::new(s, "not a number"))?;
+        if value < 0.0 {
+            return Err(ParseDurationError::new(s, "duration must be non-negative"));
+        }
+        let seconds = match unit {
+            Some('s') => value,
+            Some('m') => value * 60.0,
+            Some('h') => value * 3600.0,
+            Some('d') => value * 86_400.0,
+            Some(_) => {
+                return Err(ParseDurationError::new(
+                    s,
+                    "unknown unit (expected s, m, h or d)",
+                ))
+            }
+            // The paper's specs write bare `0` for zero durations
+            // (`mttr=0`); accept a unit-less zero but nothing else.
+            None if value == 0.0 => 0.0,
+            None => {
+                return Err(ParseDurationError::new(
+                    s,
+                    "missing unit (expected s, m, h or d)",
+                ))
+            }
+        };
+        Ok(Duration::from_secs(seconds))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parse_all_units() {
+        assert_eq!(
+            "30s".parse::<Duration>().unwrap(),
+            Duration::from_secs(30.0)
+        );
+        assert_eq!("2m".parse::<Duration>().unwrap(), Duration::from_mins(2.0));
+        assert_eq!("8h".parse::<Duration>().unwrap(), Duration::from_hours(8.0));
+        assert_eq!(
+            "650d".parse::<Duration>().unwrap(),
+            Duration::from_days(650.0)
+        );
+    }
+
+    #[test]
+    fn parse_fractional_values() {
+        assert_eq!(
+            "1.5h".parse::<Duration>().unwrap(),
+            Duration::from_mins(90.0)
+        );
+        assert_eq!(
+            "0.5m".parse::<Duration>().unwrap(),
+            Duration::from_secs(30.0)
+        );
+    }
+
+    #[test]
+    fn parse_bare_zero() {
+        assert_eq!("0".parse::<Duration>().unwrap(), Duration::ZERO);
+    }
+
+    #[test]
+    fn parse_rejects_bad_inputs() {
+        assert!("".parse::<Duration>().is_err());
+        assert!("5".parse::<Duration>().is_err());
+        assert!("5x".parse::<Duration>().is_err());
+        assert!("-2m".parse::<Duration>().is_err());
+        assert!("abc".parse::<Duration>().is_err());
+        assert!("m".parse::<Duration>().is_err());
+    }
+
+    #[test]
+    fn parse_error_reports_input() {
+        let err = "5x".parse::<Duration>().unwrap_err();
+        assert_eq!(err.input(), "5x");
+        assert!(err.to_string().contains("5x"));
+    }
+
+    #[test]
+    fn display_round_trips_spec_syntax() {
+        for text in ["30s", "2m", "8h", "650d", "90m"] {
+            let d: Duration = text.parse().unwrap();
+            let shown = d.to_string();
+            let re: Duration = shown.parse().unwrap();
+            assert_eq!(d, re, "{text} -> {shown}");
+        }
+    }
+
+    #[test]
+    fn display_prefers_largest_exact_unit() {
+        assert_eq!(Duration::from_days(2.0).to_string(), "2d");
+        assert_eq!(Duration::from_hours(36.0).to_string(), "36h");
+        assert_eq!(Duration::from_secs(90.0).to_string(), "90s");
+        assert_eq!(Duration::ZERO.to_string(), "0s");
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Duration::from_mins(2.0);
+        let b = Duration::from_secs(30.0);
+        assert_eq!((a + b).seconds(), 150.0);
+        assert_eq!((a - b).seconds(), 90.0);
+        // saturating subtraction
+        assert_eq!((b - a).seconds(), 0.0);
+        assert_eq!((a * 2.0).minutes(), 4.0);
+        assert_eq!((a / 2.0).minutes(), 1.0);
+        assert_eq!(a / b, 4.0);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Duration = [
+            Duration::from_secs(30.0),
+            Duration::from_mins(2.0),
+            Duration::from_secs(30.0),
+        ]
+        .into_iter()
+        .sum();
+        assert_eq!(total.minutes(), 3.0);
+    }
+
+    #[test]
+    fn unit_accessors_consistent() {
+        let d = Duration::from_days(1.0);
+        assert_eq!(d.hours(), 24.0);
+        assert_eq!(d.minutes(), 1440.0);
+        assert_eq!(d.seconds(), 86_400.0);
+        assert!((Duration::from_years(1.0).hours() - 8760.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Duration::from_secs(10.0);
+        let b = Duration::from_secs(20.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_construction_panics() {
+        let _ = Duration::from_secs(-1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn display_parse_round_trip(secs in 0.0_f64..1e9) {
+            let d = Duration::from_secs(secs);
+            let re: Duration = d.to_string().parse().unwrap();
+            // Display may round to the nearest representable unit string; the
+            // round trip must be within a part in 1e9 of the original.
+            prop_assert!((re.seconds() - d.seconds()).abs() <= 1e-6 * d.seconds().max(1.0));
+        }
+
+        #[test]
+        fn addition_commutes(a in 0.0_f64..1e9, b in 0.0_f64..1e9) {
+            let (a, b) = (Duration::from_secs(a), Duration::from_secs(b));
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn subtraction_saturates(a in 0.0_f64..1e9, b in 0.0_f64..1e9) {
+            let (a, b) = (Duration::from_secs(a), Duration::from_secs(b));
+            prop_assert!((a - b).seconds() >= 0.0);
+        }
+    }
+}

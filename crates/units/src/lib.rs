@@ -1,0 +1,54 @@
+//! Physical quantities used throughout the Aved design-automation engine.
+//!
+//! The Aved specification language (see the `aved-spec` crate) expresses
+//! time quantities with single-letter unit suffixes (`30s`, `2m`, `8h`,
+//! `650d`) and money as plain annualized dollar amounts. This crate provides
+//! strongly-typed wrappers for these quantities so that the rest of the
+//! engine cannot accidentally confuse, say, a repair *time* with a repair
+//! *rate*, or an annual cost with a one-time cost.
+//!
+//! # Examples
+//!
+//! ```
+//! use aved_units::{Duration, Rate, Money};
+//!
+//! let mtbf: Duration = "650d".parse()?;
+//! let failure_rate: Rate = mtbf.rate();
+//! assert!((failure_rate.per_hour_value() - 1.0 / (650.0 * 24.0)).abs() < 1e-12);
+//!
+//! let cost = Money::from_dollars(2400.0) + Money::from_dollars(240.0);
+//! assert_eq!(cost.dollars(), 2640.0);
+//! # Ok::<(), aved_units::ParseDurationError>(())
+//! ```
+
+mod duration;
+mod money;
+mod rate;
+
+pub use duration::{Duration, ParseDurationError};
+pub use money::Money;
+pub use rate::Rate;
+
+/// Hours in the (non-leap) year used for annual-downtime accounting.
+///
+/// The paper reports downtime as "annual downtime" in minutes; all engines in
+/// this workspace use the conventional 8760-hour year.
+pub const HOURS_PER_YEAR: f64 = 8760.0;
+
+/// Seconds in the accounting year ([`HOURS_PER_YEAR`] hours).
+pub const SECONDS_PER_YEAR: f64 = HOURS_PER_YEAR * 3600.0;
+
+/// Minutes in the accounting year ([`HOURS_PER_YEAR`] hours).
+pub const MINUTES_PER_YEAR: f64 = HOURS_PER_YEAR * 60.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn year_constants_consistent() {
+        assert_eq!(SECONDS_PER_YEAR, HOURS_PER_YEAR * 3600.0);
+        assert_eq!(MINUTES_PER_YEAR, HOURS_PER_YEAR * 60.0);
+        assert_eq!(HOURS_PER_YEAR, 365.0 * 24.0);
+    }
+}

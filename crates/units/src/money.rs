@@ -1,0 +1,243 @@
+//! Annualized monetary amounts.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// An annualized dollar amount.
+///
+/// Aved's cost model (paper §3.1.1) annualizes every cost: capital costs are
+/// divided by the component's useful lifetime and added to annual operating
+/// costs (energy, licenses, maintenance contracts). All costs flowing through
+/// the engine are therefore directly comparable `$ / year` figures, and
+/// design cost is a plain sum of `Money` values.
+///
+/// Unlike [`Duration`](crate::Duration) and [`Rate`](crate::Rate), `Money`
+/// may be negative: cost *differences* (e.g. the Fig. 8 "additional annual
+/// cost" curves) are first-class values.
+///
+/// # Examples
+///
+/// ```
+/// use aved_units::Money;
+///
+/// let machine = Money::from_dollars(2640.0);
+/// let contract = Money::from_dollars(380.0);
+/// let design = machine * 3.0 + contract * 3.0;
+/// assert_eq!(design.dollars(), 9060.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Money {
+    dollars: f64,
+}
+
+impl Money {
+    /// Zero dollars.
+    pub const ZERO: Money = Money { dollars: 0.0 };
+
+    /// Creates an amount from dollars.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dollars` is NaN.
+    #[must_use]
+    pub fn from_dollars(dollars: f64) -> Money {
+        assert!(!dollars.is_nan(), "money must not be NaN");
+        Money { dollars }
+    }
+
+    /// The amount in dollars.
+    #[must_use]
+    pub fn dollars(self) -> f64 {
+        self.dollars
+    }
+
+    /// Whether the amount is exactly zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.dollars == 0.0
+    }
+
+    /// Element-wise minimum.
+    #[must_use]
+    pub fn min(self, other: Money) -> Money {
+        if self.dollars <= other.dollars {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Element-wise maximum.
+    #[must_use]
+    pub fn max(self, other: Money) -> Money {
+        if self.dollars >= other.dollars {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Total order for sorting designs by cost.
+    ///
+    /// `Money` holds an `f64` and is only `PartialOrd`; this helper provides
+    /// the total order (NaN is excluded by construction).
+    #[must_use]
+    pub fn total_cmp(&self, other: &Money) -> std::cmp::Ordering {
+        self.dollars.total_cmp(&other.dollars)
+    }
+}
+
+impl Add for Money {
+    type Output = Money;
+    fn add(self, rhs: Money) -> Money {
+        Money::from_dollars(self.dollars + rhs.dollars)
+    }
+}
+
+impl AddAssign for Money {
+    fn add_assign(&mut self, rhs: Money) {
+        self.dollars += rhs.dollars;
+    }
+}
+
+impl Sub for Money {
+    type Output = Money;
+    fn sub(self, rhs: Money) -> Money {
+        Money::from_dollars(self.dollars - rhs.dollars)
+    }
+}
+
+impl SubAssign for Money {
+    fn sub_assign(&mut self, rhs: Money) {
+        self.dollars -= rhs.dollars;
+    }
+}
+
+impl Neg for Money {
+    type Output = Money;
+    fn neg(self) -> Money {
+        Money::from_dollars(-self.dollars)
+    }
+}
+
+impl Mul<f64> for Money {
+    type Output = Money;
+    fn mul(self, rhs: f64) -> Money {
+        Money::from_dollars(self.dollars * rhs)
+    }
+}
+
+impl Mul<Money> for f64 {
+    type Output = Money;
+    fn mul(self, rhs: Money) -> Money {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Money {
+    type Output = Money;
+    fn div(self, rhs: f64) -> Money {
+        Money::from_dollars(self.dollars / rhs)
+    }
+}
+
+impl Sum for Money {
+    fn sum<I: Iterator<Item = Money>>(iter: I) -> Money {
+        iter.fold(Money::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Money {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.dollars < 0.0 {
+            write!(f, "-${:.2}", -self.dollars)
+        } else {
+            write!(f, "${:.2}", self.dollars)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Money::from_dollars(100.0);
+        let b = Money::from_dollars(40.0);
+        assert_eq!((a + b).dollars(), 140.0);
+        assert_eq!((a - b).dollars(), 60.0);
+        assert_eq!((b - a).dollars(), -60.0);
+        assert_eq!((a * 2.5).dollars(), 250.0);
+        assert_eq!((a / 4.0).dollars(), 25.0);
+        assert_eq!((-a).dollars(), -100.0);
+    }
+
+    #[test]
+    fn sum_and_zero() {
+        let total: Money = [Money::from_dollars(1.0), Money::from_dollars(2.0)]
+            .into_iter()
+            .sum();
+        assert_eq!(total.dollars(), 3.0);
+        assert!(Money::ZERO.is_zero());
+    }
+
+    #[test]
+    fn display_formats_negatives() {
+        assert_eq!(Money::from_dollars(1234.5).to_string(), "$1234.50");
+        assert_eq!(Money::from_dollars(-5.0).to_string(), "-$5.00");
+    }
+
+    #[test]
+    fn total_cmp_sorts() {
+        let mut v = vec![
+            Money::from_dollars(3.0),
+            Money::from_dollars(-1.0),
+            Money::from_dollars(2.0),
+        ];
+        v.sort_by(Money::total_cmp);
+        assert_eq!(
+            v,
+            vec![
+                Money::from_dollars(-1.0),
+                Money::from_dollars(2.0),
+                Money::from_dollars(3.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Money::from_dollars(1.0);
+        let b = Money::from_dollars(2.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_money_panics() {
+        let _ = Money::from_dollars(f64::NAN);
+    }
+
+    proptest! {
+        #[test]
+        fn addition_associative_enough(a in -1e9_f64..1e9, b in -1e9_f64..1e9, c in -1e9_f64..1e9) {
+            let (ma, mb, mc) = (Money::from_dollars(a), Money::from_dollars(b), Money::from_dollars(c));
+            let left = (ma + mb) + mc;
+            let right = ma + (mb + mc);
+            prop_assert!((left.dollars() - right.dollars()).abs() <= 1e-3);
+        }
+
+        #[test]
+        fn subtraction_inverts_addition(a in -1e9_f64..1e9, b in -1e9_f64..1e9) {
+            let (ma, mb) = (Money::from_dollars(a), Money::from_dollars(b));
+            prop_assert!(((ma + mb - mb).dollars() - a).abs() <= 1e-3);
+        }
+    }
+}

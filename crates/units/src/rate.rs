@@ -1,0 +1,235 @@
+//! Event rates (reciprocal durations) for Markov-model transition matrices.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul};
+
+use serde::{Deserialize, Serialize};
+
+use crate::Duration;
+
+/// An event rate: expected number of events per unit time.
+///
+/// Rates are the natural currency of continuous-time Markov chains: a
+/// component with MTBF *T* fails at rate *1/T*, and `k` identical failed
+/// components repair at `k` times the single-component repair rate.
+///
+/// Internally stored as events **per hour**: availability models mix
+/// quantities from seconds (startup latencies) to years (MTBFs), and
+/// per-hour keeps typical magnitudes near 1 for numerical health.
+///
+/// # Examples
+///
+/// ```
+/// use aved_units::{Duration, Rate};
+///
+/// let mtbf = Duration::from_days(650.0);
+/// let lambda = mtbf.rate();
+/// // Two active machines fail at twice the rate of one.
+/// let tier_rate = lambda * 2.0;
+/// assert!((tier_rate.mean_time().days() - 325.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Rate {
+    per_hour: f64,
+}
+
+impl Rate {
+    /// The zero rate (events never occur).
+    pub const ZERO: Rate = Rate { per_hour: 0.0 };
+
+    /// Creates a rate of `events` per hour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `events` is negative or NaN.
+    #[must_use]
+    pub fn per_hour(events: f64) -> Rate {
+        assert!(
+            events >= 0.0 && !events.is_nan(),
+            "rate must be non-negative, got {events}"
+        );
+        Rate { per_hour: events }
+    }
+
+    /// Creates the rate corresponding to one event per `seconds` seconds.
+    ///
+    /// Zero seconds produces an infinite rate; callers that cannot tolerate
+    /// infinities (linear solvers) must special-case it, which the
+    /// availability engines do by treating zero-MTTR failure modes as
+    /// restart-class events.
+    #[must_use]
+    pub fn per_seconds(seconds: f64) -> Rate {
+        if seconds == 0.0 {
+            Rate {
+                per_hour: f64::INFINITY,
+            }
+        } else {
+            Rate::per_hour(3600.0 / seconds)
+        }
+    }
+
+    /// Events per hour.
+    #[must_use]
+    pub fn per_hour_value(self) -> f64 {
+        self.per_hour
+    }
+
+    /// Events per year (8760 hours).
+    #[must_use]
+    pub fn per_year(self) -> f64 {
+        self.per_hour * crate::HOURS_PER_YEAR
+    }
+
+    /// The mean time between events (reciprocal of the rate).
+    #[must_use]
+    pub fn mean_time(self) -> Duration {
+        if self.per_hour == 0.0 {
+            Duration::from_secs(f64::INFINITY)
+        } else {
+            Duration::from_hours(1.0 / self.per_hour)
+        }
+    }
+
+    /// Whether this rate is zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.per_hour == 0.0
+    }
+
+    /// Whether this rate is finite (false for instant events).
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.per_hour.is_finite()
+    }
+}
+
+impl Add for Rate {
+    type Output = Rate;
+    fn add(self, rhs: Rate) -> Rate {
+        Rate::per_hour(self.per_hour + rhs.per_hour)
+    }
+}
+
+impl AddAssign for Rate {
+    fn add_assign(&mut self, rhs: Rate) {
+        self.per_hour += rhs.per_hour;
+    }
+}
+
+impl Mul<f64> for Rate {
+    type Output = Rate;
+    fn mul(self, rhs: f64) -> Rate {
+        Rate::per_hour(self.per_hour * rhs)
+    }
+}
+
+impl Mul<Rate> for f64 {
+    type Output = Rate;
+    fn mul(self, rhs: Rate) -> Rate {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Rate {
+    type Output = Rate;
+    fn div(self, rhs: f64) -> Rate {
+        Rate::per_hour(self.per_hour / rhs)
+    }
+}
+
+impl Div<Rate> for Rate {
+    type Output = f64;
+    /// Dimensionless ratio of two rates.
+    fn div(self, rhs: Rate) -> f64 {
+        self.per_hour / rhs.per_hour
+    }
+}
+
+impl Sum for Rate {
+    fn sum<I: Iterator<Item = Rate>>(iter: I) -> Rate {
+        iter.fold(Rate::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Rate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/h", self.per_hour)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rate_from_duration_reciprocal() {
+        let d = Duration::from_hours(4.0);
+        assert!((d.rate().per_hour_value() - 0.25).abs() < 1e-12);
+        assert_eq!(d.rate().mean_time(), d);
+    }
+
+    #[test]
+    fn zero_duration_gives_infinite_rate() {
+        let r = Duration::ZERO.rate();
+        assert!(!r.is_finite());
+    }
+
+    #[test]
+    fn zero_rate_gives_infinite_mean_time() {
+        assert!(Rate::ZERO.mean_time().seconds().is_infinite());
+    }
+
+    #[test]
+    fn rates_add_linearly() {
+        let a = Rate::per_hour(0.5);
+        let b = Rate::per_hour(1.5);
+        assert_eq!((a + b).per_hour_value(), 2.0);
+        assert_eq!((a * 4.0).per_hour_value(), 2.0);
+        assert_eq!((b / 3.0).per_hour_value(), 0.5);
+        assert_eq!(b / a, 3.0);
+    }
+
+    #[test]
+    fn per_year_conversion() {
+        assert!((Rate::per_hour(1.0).per_year() - 8760.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sum_of_rates() {
+        let total: Rate = [Rate::per_hour(1.0), Rate::per_hour(2.0)].into_iter().sum();
+        assert_eq!(total.per_hour_value(), 3.0);
+    }
+
+    #[test]
+    fn display_shows_unit() {
+        assert_eq!(Rate::per_hour(2.0).to_string(), "2/h");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rate_panics() {
+        let _ = Rate::per_hour(-1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn mean_time_is_inverse(hours in 1e-6_f64..1e9) {
+            let d = Duration::from_hours(hours);
+            let back = d.rate().mean_time();
+            prop_assert!((back.hours() - hours).abs() <= 1e-9 * hours);
+        }
+
+        #[test]
+        fn n_component_scaling(hours in 1e-3_f64..1e6, n in 1_u32..1000) {
+            let single = Duration::from_hours(hours).rate();
+            let combined = single * f64::from(n);
+            prop_assert!(
+                (combined.mean_time().hours() - hours / f64::from(n)).abs()
+                    <= 1e-9 * hours
+            );
+        }
+    }
+}

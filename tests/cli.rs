@@ -1,0 +1,192 @@
+//! End-to-end tests of the `aved` command-line binary.
+
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_aved"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn design_on_paper_scenario() {
+    let out = run(&[
+        "design",
+        "--paper-ecommerce",
+        "--load",
+        "400",
+        "--max-downtime",
+        "1000m",
+        "--max-extra",
+        "1",
+        "--max-spares",
+        "1",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("minimum-cost design"));
+    assert!(text.contains("expected annual downtime"));
+    assert!(text.contains("application: r"));
+}
+
+#[test]
+fn design_with_requirement_file_and_explain() {
+    let dir = std::env::temp_dir().join("aved-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let req = dir.join("req.aved");
+    std::fs::write(
+        &req,
+        "requirement=enterprise throughput=400 downtime=800m\n",
+    )
+    .unwrap();
+    let out = run(&[
+        "design",
+        "--paper-ecommerce",
+        "--requirement",
+        req.to_str().unwrap(),
+        "--max-extra",
+        "1",
+        "--max-spares",
+        "1",
+        "--explain",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("Aved design report"));
+    assert!(text.contains("downtime contributions"));
+}
+
+#[test]
+fn job_design_with_pins() {
+    let out = run(&[
+        "design",
+        "--paper-scientific",
+        "--max-execution-time",
+        "300h",
+        "--pin",
+        "maintenanceA.level=bronze",
+        "--pin",
+        "maintenanceB.level=bronze",
+        "--max-spares",
+        "1",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("expected job completion"));
+    assert!(text.contains("computation: rH"));
+}
+
+#[test]
+fn check_and_dump_bundled_files() {
+    let out = run(&[
+        "check",
+        "--infrastructure",
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../data/infrastructure.aved"
+        ),
+        "--service",
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../data/ecommerce.aved"),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).contains("infrastructure OK"));
+    assert!(stdout(&out).contains("service ecommerce OK"));
+
+    let out = run(&[
+        "dump",
+        "--infrastructure",
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../data/infrastructure.aved"
+        ),
+    ]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("component=machineA"));
+    assert!(stdout(&out).contains("resource=rI"));
+}
+
+#[test]
+fn export_markov_produces_sharpe_model() {
+    let out = run(&[
+        "export-markov",
+        "--infrastructure",
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../data/infrastructure.aved"
+        ),
+        "--resource",
+        "rC",
+        "--active",
+        "2",
+        "--min",
+        "2",
+        "--spares",
+        "1",
+        "--pin",
+        "maintenanceA.level=gold",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("markov tier"));
+    assert!(text.contains("failure_mode=machineA/hard"));
+    assert!(text.contains("reward"));
+}
+
+#[test]
+fn sweep_prints_a_frontier() {
+    let out = run(&[
+        "sweep",
+        "--paper-ecommerce",
+        "--tier",
+        "application",
+        "--load",
+        "800",
+        "--max-extra",
+        "1",
+        "--max-spares",
+        "1",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("cost/downtime frontier"));
+    assert!(text.contains("maintenanceA.level=bronze"));
+    // Frontier rows are cost-ascending.
+    let costs: Vec<f64> = text
+        .lines()
+        .skip(2)
+        .filter_map(|l| l.split_whitespace().next())
+        .filter_map(|c| c.parse().ok())
+        .collect();
+    assert!(costs.len() >= 3);
+    assert!(costs.windows(2).all(|w| w[0] <= w[1]), "costs: {costs:?}");
+}
+
+#[test]
+fn bad_usage_exits_nonzero_with_usage() {
+    let out = run(&["design", "--paper-ecommerce"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("usage"));
+
+    let out = run(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown command"));
+
+    let out = run(&[]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn missing_file_is_a_clean_error() {
+    let out = run(&["check", "--infrastructure", "/nonexistent/infra.aved"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("/nonexistent/infra.aved"));
+}

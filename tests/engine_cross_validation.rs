@@ -1,0 +1,189 @@
+//! Integration tests: the three availability engines agree with each other
+//! on models derived from the paper's scenario.
+
+use aved::avail::{
+    derive_tier_model, AvailabilityEngine, CtmcEngine, DecompositionEngine, SimulationEngine,
+};
+use aved::model::{FailureScope, ParamValue, Sizing, SpareMode, TierDesign};
+use aved::scenario;
+
+fn paper_design(level: &str, n: u32, s: u32) -> TierDesign {
+    TierDesign::new("application", "rC", n, s)
+        .with_spare_mode(SpareMode::AllInactive)
+        .with_setting("maintenanceA", "level", ParamValue::Level(level.into()))
+}
+
+fn derived(level: &str, n: u32, s: u32, m: u32) -> aved::avail::TierModel {
+    let infra = scenario::infrastructure().unwrap();
+    derive_tier_model(
+        &infra,
+        &paper_design(level, n, s),
+        Sizing::Dynamic,
+        FailureScope::Resource,
+        m,
+    )
+    .unwrap()
+}
+
+#[test]
+fn ctmc_and_decomposition_agree_on_single_point_of_failure() {
+    // m = n: every failure is an outage; overlap effects are negligible, so
+    // both engines agree tightly.
+    let model = derived("bronze", 2, 0, 2);
+    let exact = CtmcEngine::default().evaluate(&model).unwrap();
+    let fast = DecompositionEngine::default().evaluate(&model).unwrap();
+    let rel = (exact.unavailability() - fast.unavailability()).abs() / exact.unavailability();
+    assert!(rel < 0.02, "relative gap {rel}");
+}
+
+#[test]
+fn ctmc_and_decomposition_agree_with_redundancy() {
+    // n_extra = 1: downtime needs overlapping failures. Decomposition
+    // misses cross-class overlap, so it underestimates, but must stay
+    // within a factor ~2 of the exact joint chain for paper-like rates.
+    let model = derived("bronze", 3, 0, 2);
+    let exact = CtmcEngine::default().evaluate(&model).unwrap();
+    let fast = DecompositionEngine::default().evaluate(&model).unwrap();
+    assert!(fast.unavailability() <= exact.unavailability() * 1.001);
+    assert!(
+        fast.unavailability() >= exact.unavailability() * 0.3,
+        "fast {} vs exact {}",
+        fast.unavailability(),
+        exact.unavailability()
+    );
+}
+
+#[test]
+fn simulation_confirms_ctmc_on_paper_tier_no_spares() {
+    let model = derived("bronze", 2, 0, 2);
+    let exact = CtmcEngine::default().evaluate(&model).unwrap();
+    let sim = SimulationEngine::new(2024)
+        .with_years(3000.0)
+        .evaluate(&model)
+        .unwrap();
+    let rel = (exact.unavailability() - sim.unavailability()).abs() / exact.unavailability();
+    assert!(
+        rel < 0.1,
+        "sim {} vs ctmc {} (rel {rel})",
+        sim.unavailability(),
+        exact.unavailability()
+    );
+}
+
+#[test]
+fn simulation_confirms_ctmc_with_spares_and_failover() {
+    let model = derived("gold", 2, 1, 2);
+    let exact = CtmcEngine::default().evaluate(&model).unwrap();
+    let sim = SimulationEngine::new(7)
+        .with_years(30_000.0)
+        .evaluate(&model)
+        .unwrap();
+    let rel = (exact.unavailability() - sim.unavailability()).abs() / exact.unavailability();
+    assert!(
+        rel < 0.15,
+        "sim {} vs ctmc {} (rel {rel})",
+        sim.unavailability(),
+        exact.unavailability()
+    );
+}
+
+#[test]
+fn down_event_rates_agree_between_ctmc_and_simulation() {
+    let model = derived("bronze", 2, 0, 2);
+    let exact = CtmcEngine::default().evaluate(&model).unwrap();
+    let sim = SimulationEngine::new(99)
+        .with_years(3000.0)
+        .evaluate(&model)
+        .unwrap();
+    let (a, b) = (
+        exact.down_event_rate().per_hour_value(),
+        sim.down_event_rate().per_hour_value(),
+    );
+    assert!((a - b).abs() / a < 0.1, "ctmc {a} vs sim {b}");
+}
+
+#[test]
+fn engines_rank_maintenance_levels_identically() {
+    let engines: Vec<Box<dyn AvailabilityEngine>> = vec![
+        Box::new(CtmcEngine::default()),
+        Box::new(DecompositionEngine::default()),
+    ];
+    for engine in &engines {
+        let bronze = engine.evaluate(&derived("bronze", 2, 0, 2)).unwrap();
+        let gold = engine.evaluate(&derived("gold", 2, 0, 2)).unwrap();
+        let platinum = engine.evaluate(&derived("platinum", 2, 0, 2)).unwrap();
+        assert!(bronze.unavailability() > gold.unavailability());
+        assert!(gold.unavailability() > platinum.unavailability());
+    }
+}
+
+#[test]
+fn paper_magnitudes_family1_and_family3() {
+    // Family 1 of Fig. 6 (rC, bronze, no redundancy): the downtime is
+    // dominated by hard failures at 38-hour repairs. At the smallest load
+    // (m = n = 2) the paper's curve starts in the low thousands of minutes
+    // per year. Family 3 (gold contract, 8-hour repairs) sits several times
+    // lower.
+    let engine = CtmcEngine::default();
+    let bronze = engine.evaluate(&derived("bronze", 2, 0, 2)).unwrap();
+    let gold = engine.evaluate(&derived("gold", 2, 0, 2)).unwrap();
+    let bronze_mins = bronze.annual_downtime().minutes();
+    let gold_mins = gold.annual_downtime().minutes();
+    assert!(
+        (1500.0..6000.0).contains(&bronze_mins),
+        "family-1 magnitude: {bronze_mins} min/yr"
+    );
+    assert!(
+        (400.0..1500.0).contains(&gold_mins),
+        "family-3 magnitude: {gold_mins} min/yr"
+    );
+    assert!(bronze_mins / gold_mins > 2.0);
+}
+
+#[test]
+fn deterministic_repairs_keep_the_same_order_of_magnitude() {
+    use aved::avail::RepairDistribution;
+    let model = derived("bronze", 2, 0, 2);
+    let exp = SimulationEngine::new(5)
+        .with_years(2000.0)
+        .evaluate(&model)
+        .unwrap();
+    let det = SimulationEngine::new(5)
+        .with_years(2000.0)
+        .with_distribution(RepairDistribution::Deterministic)
+        .evaluate(&model)
+        .unwrap();
+    let ratio = det.unavailability() / exp.unavailability();
+    assert!(
+        (0.5..2.0).contains(&ratio),
+        "distribution sensitivity ratio {ratio}"
+    );
+}
+
+#[test]
+fn derived_scientific_model_has_tier_scope_semantics() {
+    // For the scientific application (failurescope = tier), m = n: a single
+    // failure anywhere takes the tier down.
+    let infra = scenario::infrastructure().unwrap();
+    let td = TierDesign::new("computation", "rH", 30, 1)
+        .with_setting("maintenanceA", "level", ParamValue::Level("bronze".into()))
+        .with_setting(
+            "checkpoint",
+            "storage_location",
+            ParamValue::Level("central".into()),
+        )
+        .with_setting(
+            "checkpoint",
+            "checkpoint_interval",
+            ParamValue::Duration(aved::units::Duration::from_mins(30.0)),
+        );
+    let model = derive_tier_model(&infra, &td, Sizing::Static, FailureScope::Tier, 1).unwrap();
+    assert_eq!(model.m(), model.n());
+    // 30 nodes x 4 failure classes: the tier fails every day or two.
+    let mtbf = model.tier_failure_rate().mean_time();
+    assert!(
+        mtbf.days() > 0.3 && mtbf.days() < 3.0,
+        "tier MTBF {} days",
+        mtbf.days()
+    );
+}

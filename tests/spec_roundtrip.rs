@@ -1,0 +1,215 @@
+//! Integration tests: the specification language round-trips the bundled
+//! paper models and randomly-generated models.
+
+use aved::model::{
+    ComponentType, DurationSpec, EffectValue, FailureMode, Infrastructure, Mechanism, ParamRange,
+    Parameter, ResourceComponent, ResourceType,
+};
+use aved::scenario;
+use aved::spec::{parse_infrastructure, parse_services, write_infrastructure, write_service};
+use aved::units::{Duration, Money};
+use proptest::prelude::*;
+
+#[test]
+fn bundled_infrastructure_round_trips() {
+    let infra = scenario::infrastructure().unwrap();
+    let text = write_infrastructure(&infra);
+    let reparsed = parse_infrastructure(&text).unwrap();
+    assert_eq!(infra, reparsed);
+}
+
+#[test]
+fn bundled_services_round_trip() {
+    for svc in [
+        scenario::ecommerce().unwrap(),
+        scenario::scientific().unwrap(),
+    ] {
+        let text = write_service(&svc);
+        let reparsed = aved::spec::parse_service(&text).unwrap();
+        assert_eq!(svc, reparsed, "service {}", svc.name());
+    }
+}
+
+#[test]
+fn combined_service_document_parses() {
+    let both = format!(
+        "{}\n{}",
+        scenario::ECOMMERCE_SPEC,
+        scenario::SCIENTIFIC_SPEC
+    );
+    let services = parse_services(&both).unwrap();
+    assert_eq!(services.len(), 2);
+}
+
+#[test]
+fn paper_figure3_values_survive_the_round_trip() {
+    let infra = scenario::infrastructure().unwrap();
+    let reparsed = parse_infrastructure(&write_infrastructure(&infra)).unwrap();
+    let machine_b = reparsed.component("machineB").unwrap();
+    assert_eq!(machine_b.cost_active(), Money::from_dollars(93_500.0));
+    assert_eq!(
+        machine_b.failure_modes()[0].mtbf(),
+        Some(Duration::from_days(1300.0))
+    );
+    let maint_b = reparsed.mechanism("maintenanceB").unwrap();
+    let settings: std::collections::BTreeMap<_, _> = [(
+        (
+            aved::model::MechanismName::new("maintenanceB"),
+            aved::model::ParamName::new("level"),
+        ),
+        aved::model::ParamValue::Level("platinum".into()),
+    )]
+    .into_iter()
+    .collect();
+    assert_eq!(
+        maint_b.resolve_cost(&settings).unwrap(),
+        Money::from_dollars(25_300.0)
+    );
+    assert_eq!(
+        maint_b.resolve_mttr(&settings).unwrap(),
+        Some(Duration::from_hours(6.0))
+    );
+}
+
+// ---------------------------------------------------------------------
+// Property tests: random infrastructures round-trip through the writer
+// and parser.
+// ---------------------------------------------------------------------
+
+fn arb_duration() -> impl Strategy<Value = Duration> {
+    // Whole seconds/minutes/hours/days so the Display form is exact.
+    prop_oneof![
+        (1_u32..600).prop_map(|s| Duration::from_secs(f64::from(s))),
+        (1_u32..600).prop_map(|m| Duration::from_mins(f64::from(m))),
+        (1_u32..100).prop_map(|h| Duration::from_hours(f64::from(h))),
+        (1_u32..2000).prop_map(|d| Duration::from_days(f64::from(d))),
+    ]
+}
+
+fn arb_name(prefix: &'static str) -> impl Strategy<Value = String> {
+    (0_u32..1000).prop_map(move |i| format!("{prefix}{i}"))
+}
+
+fn arb_component() -> impl Strategy<Value = ComponentType> {
+    (
+        arb_name("comp"),
+        0_u32..100_000,
+        0_u32..100_000,
+        proptest::collection::vec((arb_name("mode"), arb_duration(), arb_duration()), 1..4),
+    )
+        .prop_map(|(name, ci, ca, modes)| {
+            let mut c = ComponentType::new(name).with_costs(
+                Money::from_dollars(f64::from(ci)),
+                Money::from_dollars(f64::from(ca)),
+            );
+            for (i, (mode_name, mtbf, detect)) in modes.into_iter().enumerate() {
+                c = c.with_failure_mode(FailureMode::new(
+                    format!("{mode_name}_{i}"),
+                    mtbf,
+                    Duration::ZERO,
+                    detect,
+                ));
+            }
+            c
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_components_round_trip(components in proptest::collection::vec(arb_component(), 1..6)) {
+        let mut infra = Infrastructure::new();
+        for c in components {
+            infra = infra.with_component(c);
+        }
+        let text = write_infrastructure(&infra);
+        let reparsed = parse_infrastructure(&text).unwrap();
+        prop_assert_eq!(infra, reparsed);
+    }
+
+    #[test]
+    fn random_mechanisms_round_trip(
+        levels in proptest::collection::vec(arb_name("lvl"), 1..5),
+        costs_seed in 0_u32..10_000,
+        mttrs in proptest::collection::vec(arb_duration(), 1..5),
+    ) {
+        let n = levels.len().min(mttrs.len());
+        let levels: Vec<String> = levels.into_iter().take(n)
+            .enumerate().map(|(i, l)| format!("{l}_{i}")).collect();
+        let mttrs: Vec<Duration> = mttrs.into_iter().take(n).collect();
+        let costs: Vec<Money> = (0..n)
+            .map(|i| Money::from_dollars(f64::from(costs_seed + i as u32)))
+            .collect();
+        let mech = Mechanism::new("m")
+            .with_param(Parameter::new("level", ParamRange::Levels(levels)))
+            .with_cost_table("level", costs)
+            .with_mttr_effect(EffectValue::Table { param: "level".into(), values: mttrs });
+        let infra = Infrastructure::new().with_mechanism(mech);
+        let text = write_infrastructure(&infra);
+        let reparsed = parse_infrastructure(&text).unwrap();
+        prop_assert_eq!(infra, reparsed);
+    }
+
+    #[test]
+    fn random_resources_round_trip(
+        startups in proptest::collection::vec(arb_duration(), 1..5),
+        reconfig in arb_duration(),
+    ) {
+        let mut infra = Infrastructure::new();
+        let mut resource = ResourceType::new("r0", reconfig);
+        for (i, s) in startups.iter().enumerate() {
+            let name = format!("c{i}");
+            infra = infra.with_component(
+                ComponentType::new(name.as_str()).with_failure_mode(FailureMode::new(
+                    "soft",
+                    Duration::from_days(30.0),
+                    Duration::ZERO,
+                    Duration::ZERO,
+                )),
+            );
+            let depend = if i == 0 { None } else { Some(format!("c{}", i - 1).into()) };
+            resource = resource.with_component(ResourceComponent::new(name, depend, *s));
+        }
+        let infra = infra.with_resource(resource);
+        let text = write_infrastructure(&infra);
+        let reparsed = parse_infrastructure(&text).unwrap();
+        prop_assert_eq!(infra, reparsed);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(text in "\\PC{0,200}") {
+        let _ = parse_infrastructure(&text);
+        let _ = parse_services(&text);
+    }
+
+    #[test]
+    fn duration_spec_forms_round_trip(d in arb_duration(), use_mech in prop::bool::ANY) {
+        let repair: DurationSpec = if use_mech {
+            DurationSpec::FromMechanism("fix".into())
+        } else {
+            DurationSpec::Fixed(d)
+        };
+        let mut infra = Infrastructure::new().with_component(
+            ComponentType::new("x").with_failure_mode(FailureMode::new(
+                "hard",
+                Duration::from_days(100.0),
+                repair,
+                Duration::ZERO,
+            )),
+        );
+        if use_mech {
+            infra = infra.with_mechanism(
+                Mechanism::new("fix")
+                    .with_param(Parameter::new("level", ParamRange::Levels(vec!["a".into()])))
+                    .with_mttr_effect(EffectValue::Table {
+                        param: "level".into(),
+                        values: vec![Duration::from_hours(1.0)],
+                    }),
+            );
+        }
+        let text = write_infrastructure(&infra);
+        let reparsed = parse_infrastructure(&text).unwrap();
+        prop_assert_eq!(infra, reparsed);
+    }
+}
