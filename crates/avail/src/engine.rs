@@ -31,6 +31,20 @@ impl TierAvailability {
         }
     }
 
+    /// Creates a result **without validating** the unavailability.
+    ///
+    /// Exists for the fault-injection harness, which must be able to hand
+    /// downstream code deliberately-broken values (NaN, ∞) to prove the
+    /// search layer's guards reject them. Production engines must use
+    /// [`TierAvailability::new`].
+    #[must_use]
+    pub fn new_unchecked(unavailability: f64, down_event_rate: Rate) -> TierAvailability {
+        TierAvailability {
+            unavailability,
+            down_event_rate,
+        }
+    }
+
     /// Steady-state probability of being down.
     #[must_use]
     pub fn unavailability(&self) -> f64 {
@@ -63,6 +77,30 @@ impl TierAvailability {
     }
 }
 
+/// How degraded one availability evaluation was: solver fallbacks taken and
+/// the worst accepted balance residual, aggregated by the search layer into
+/// its `SearchHealth` report.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EvalHealth {
+    /// Solver fallbacks taken (attempts beyond the first, summed over every
+    /// steady-state solve this evaluation ran).
+    pub fallbacks: u32,
+    /// Worst accepted balance residual `‖πQ‖∞` across those solves, when
+    /// the engine measures one.
+    pub worst_residual: Option<f64>,
+}
+
+impl EvalHealth {
+    /// Folds another evaluation's health into this one.
+    pub fn absorb(&mut self, other: EvalHealth) {
+        self.fallbacks += other.fallbacks;
+        self.worst_residual = match (self.worst_residual, other.worst_residual) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
 /// An availability evaluation engine: maps a [`TierModel`] to a
 /// [`TierAvailability`].
 ///
@@ -77,6 +115,22 @@ pub trait AvailabilityEngine {
     ///
     /// Returns [`AvailError`] for inconsistent models or solver failures.
     fn evaluate(&self, model: &TierModel) -> Result<TierAvailability, AvailError>;
+
+    /// Evaluates the tier and also reports how degraded the evaluation was
+    /// (solver fallbacks, worst accepted residual).
+    ///
+    /// The default implementation reports a clean [`EvalHealth`]; engines
+    /// with internal fallback machinery override it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AvailError`] for inconsistent models or solver failures.
+    fn evaluate_with_health(
+        &self,
+        model: &TierModel,
+    ) -> Result<(TierAvailability, EvalHealth), AvailError> {
+        self.evaluate(model).map(|r| (r, EvalHealth::default()))
+    }
 }
 
 #[cfg(test)]

@@ -1,10 +1,10 @@
 //! The reference engine: a truncated multi-class CTMC with failover
 //! transients.
 
-use aved_markov::{explore, DenseSolver, Explored, GaussSeidelSolver, SteadyStateSolver};
+use aved_markov::{explore, Explored, FallbackSolver};
 use aved_units::Rate;
 
-use crate::{AvailError, AvailabilityEngine, TierAvailability, TierModel};
+use crate::{AvailError, AvailabilityEngine, EvalHealth, TierAvailability, TierModel};
 
 /// State of the tier CTMC: failed-resource count per failure class, plus an
 /// optional in-progress failover (the class that triggered it).
@@ -211,16 +211,25 @@ impl Default for CtmcEngine {
 
 impl AvailabilityEngine for CtmcEngine {
     fn evaluate(&self, model: &TierModel) -> Result<TierAvailability, AvailError> {
+        self.evaluate_with_health(model).map(|(r, _)| r)
+    }
+
+    fn evaluate_with_health(
+        &self,
+        model: &TierModel,
+    ) -> Result<(TierAvailability, EvalHealth), AvailError> {
         model.check()?;
         let explored = self.explore_chain(model)?;
         let ctmc = explored.ctmc();
-        let pi = if ctmc.n_states() <= self.dense_cutover {
-            DenseSolver::new().steady_state(ctmc)?
-        } else {
-            // Beyond the dense cutover, Gauss-Seidel handles the stiff
-            // rates (MTBFs in years, restarts in seconds) far better than
-            // power iteration, whose step is limited by the fastest rate.
-            GaussSeidelSolver::default().steady_state(ctmc)?
+        // Resilient solve: dense first below the cutover (exact and fastest
+        // there), Gauss-Seidel -> power -> dense above it; every accepted
+        // solution passes an independent `‖πQ‖∞ <= 1e-9` residual check.
+        let solver = FallbackSolver::default().with_dense_preferred_below(self.dense_cutover + 1);
+        let (pi, diagnostics) = solver.solve_with_diagnostics(ctmc);
+        let pi = pi?;
+        let health = EvalHealth {
+            fallbacks: u32::try_from(diagnostics.fallbacks_taken()).unwrap_or(u32::MAX),
+            worst_residual: diagnostics.accepted_residual(),
         };
 
         let down: Vec<bool> = explored
@@ -242,9 +251,19 @@ impl AvailabilityEngine for CtmcEngine {
                 event_rate += pi[t.from] * t.rate;
             }
         }
-        Ok(TierAvailability::new(
-            unavailability.clamp(0.0, 1.0),
-            Rate::per_hour(event_rate),
+        if !unavailability.is_finite() || !event_rate.is_finite() {
+            // The residual check upstream should make this unreachable;
+            // surface an error rather than panicking in the constructor.
+            return Err(AvailError::InvalidModel {
+                detail: format!(
+                    "solver produced non-finite results (unavailability {unavailability}, \
+                     event rate {event_rate})"
+                ),
+            });
+        }
+        Ok((
+            TierAvailability::new(unavailability.clamp(0.0, 1.0), Rate::per_hour(event_rate)),
+            health,
         ))
     }
 }

@@ -2,7 +2,7 @@
 
 use aved_units::Rate;
 
-use crate::{AvailError, AvailabilityEngine, CtmcEngine, TierAvailability, TierModel};
+use crate::{AvailError, AvailabilityEngine, CtmcEngine, EvalHealth, TierAvailability, TierModel};
 
 /// Fast approximate engine: evaluates each failure class in isolation
 /// (the other classes assumed failure-free) and sums the per-class
@@ -105,18 +105,30 @@ impl Default for DecompositionEngine {
 
 impl AvailabilityEngine for DecompositionEngine {
     fn evaluate(&self, model: &TierModel) -> Result<TierAvailability, AvailError> {
+        self.evaluate_with_health(model).map(|(r, _)| r)
+    }
+
+    fn evaluate_with_health(
+        &self,
+        model: &TierModel,
+    ) -> Result<(TierAvailability, EvalHealth), AvailError> {
         model.check()?;
         let mut unavailability = 0.0;
         let mut event_rate = Rate::ZERO;
+        let mut health = EvalHealth::default();
         for class in model.classes() {
             let single = TierModel::new(model.n(), model.m(), model.s())
                 .with_exposed_spares(model.spares_exposed())
                 .with_class(class.clone());
-            let r = self.inner.evaluate(&single)?;
+            let (r, class_health) = self.inner.evaluate_with_health(&single)?;
+            health.absorb(class_health);
             unavailability += r.unavailability();
             event_rate += r.down_event_rate();
         }
-        Ok(TierAvailability::new(unavailability.min(1.0), event_rate))
+        Ok((
+            TierAvailability::new(unavailability.min(1.0), event_rate),
+            health,
+        ))
     }
 }
 

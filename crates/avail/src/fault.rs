@@ -1,0 +1,284 @@
+//! Deterministic fault injection for resilience testing.
+//!
+//! [`FaultInjectingEngine`] wraps any [`AvailabilityEngine`] (mirroring the
+//! search crate's `CachingEngine` decorator) and injects failures into
+//! chosen evaluations: solver non-convergence errors, NaN availability
+//! results, and artificial delays. Faults are selected **deterministically**
+//! — by the 0-based index of the `evaluate` call (which, in an uncached
+//! search, is the candidate index) or by a seeded pseudo-random schedule —
+//! so a failing search reproduces exactly.
+//!
+//! This is the harness that proves the evaluation path degrades gracefully:
+//! the fallback chain, the per-candidate isolation in the search loop, and
+//! the NaN guards in front of the Pareto frontier are all exercised through
+//! it.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use aved_markov::MarkovError;
+use aved_units::Rate;
+
+use crate::{AvailError, AvailabilityEngine, EvalHealth, TierAvailability, TierModel};
+
+/// The failure a [`FaultInjectingEngine`] injects into an evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InjectedFault {
+    /// The evaluation fails with a solver non-convergence error.
+    NonConvergence,
+    /// The evaluation "succeeds" but returns a NaN unavailability —
+    /// modeling a silently-wrong engine that downstream guards must catch.
+    NanResult,
+    /// The evaluation is delayed by the given duration, then forwarded to
+    /// the inner engine unchanged.
+    Delay(Duration),
+}
+
+/// A deterministic fault-injecting decorator around an availability engine.
+///
+/// # Examples
+///
+/// ```
+/// use aved_avail::{
+///     AvailabilityEngine, CtmcEngine, FailureClass, FaultInjectingEngine, InjectedFault,
+///     TierModel,
+/// };
+/// use aved_units::Duration;
+///
+/// let model = TierModel::new(1, 1, 0).with_class(FailureClass::new(
+///     "hw",
+///     Duration::from_hours(1000.0).rate(),
+///     Duration::from_hours(10.0),
+///     Duration::ZERO,
+///     false,
+/// ));
+/// let inner = CtmcEngine::default();
+/// let engine = FaultInjectingEngine::new(&inner)
+///     .with_fault_at(1, InjectedFault::NonConvergence);
+/// assert!(engine.evaluate(&model).is_ok()); // call 0: forwarded
+/// assert!(engine.evaluate(&model).is_err()); // call 1: injected
+/// assert_eq!(engine.injected(), 1);
+/// ```
+pub struct FaultInjectingEngine<'a> {
+    inner: &'a dyn AvailabilityEngine,
+    faults_by_call: BTreeMap<u64, InjectedFault>,
+    seeded: Option<SeededFaults>,
+    calls: Cell<u64>,
+    injected: Cell<u64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SeededFaults {
+    seed: u64,
+    one_in: u64,
+    fault: InjectedFault,
+}
+
+impl<'a> FaultInjectingEngine<'a> {
+    /// Wraps `inner` with no faults scheduled; every call is forwarded.
+    #[must_use]
+    pub fn new(inner: &'a dyn AvailabilityEngine) -> FaultInjectingEngine<'a> {
+        FaultInjectingEngine {
+            inner,
+            faults_by_call: BTreeMap::new(),
+            seeded: None,
+            calls: Cell::new(0),
+            injected: Cell::new(0),
+        }
+    }
+
+    /// Schedules `fault` for the evaluation with the given 0-based call
+    /// index (later schedules for the same index replace earlier ones).
+    #[must_use]
+    pub fn with_fault_at(mut self, call: u64, fault: InjectedFault) -> FaultInjectingEngine<'a> {
+        self.faults_by_call.insert(call, fault);
+        self
+    }
+
+    /// Additionally injects `fault` on a pseudo-random ~`1/one_in` fraction
+    /// of calls, chosen by a deterministic hash of `(seed, call index)`.
+    /// Explicit [`Self::with_fault_at`] schedules take precedence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `one_in` is zero.
+    #[must_use]
+    pub fn with_seeded_faults(
+        mut self,
+        seed: u64,
+        one_in: u64,
+        fault: InjectedFault,
+    ) -> FaultInjectingEngine<'a> {
+        assert!(one_in > 0, "one_in must be positive");
+        self.seeded = Some(SeededFaults {
+            seed,
+            one_in,
+            fault,
+        });
+        self
+    }
+
+    /// Number of evaluations seen so far.
+    #[must_use]
+    pub fn calls(&self) -> u64 {
+        self.calls.get()
+    }
+
+    /// Number of faults injected so far.
+    #[must_use]
+    pub fn injected(&self) -> u64 {
+        self.injected.get()
+    }
+
+    fn fault_for(&self, call: u64) -> Option<InjectedFault> {
+        if let Some(f) = self.faults_by_call.get(&call) {
+            return Some(*f);
+        }
+        let seeded = self.seeded?;
+        // splitmix64 of (seed ^ call): deterministic, well-mixed.
+        let mut z = (seeded.seed ^ call).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        z.is_multiple_of(seeded.one_in).then_some(seeded.fault)
+    }
+
+    fn apply(
+        &self,
+        fault: Option<InjectedFault>,
+        model: &TierModel,
+    ) -> Result<(TierAvailability, EvalHealth), AvailError> {
+        match fault {
+            None => self.inner.evaluate_with_health(model),
+            Some(InjectedFault::Delay(d)) => {
+                self.injected.set(self.injected.get() + 1);
+                std::thread::sleep(d);
+                self.inner.evaluate_with_health(model)
+            }
+            Some(InjectedFault::NonConvergence) => {
+                self.injected.set(self.injected.get() + 1);
+                Err(AvailError::Markov(MarkovError::NoConvergence {
+                    iterations: 0,
+                    residual: f64::INFINITY,
+                }))
+            }
+            Some(InjectedFault::NanResult) => {
+                self.injected.set(self.injected.get() + 1);
+                Ok((
+                    TierAvailability::new_unchecked(f64::NAN, Rate::ZERO),
+                    EvalHealth::default(),
+                ))
+            }
+        }
+    }
+}
+
+impl AvailabilityEngine for FaultInjectingEngine<'_> {
+    fn evaluate(&self, model: &TierModel) -> Result<TierAvailability, AvailError> {
+        self.evaluate_with_health(model).map(|(r, _)| r)
+    }
+
+    fn evaluate_with_health(
+        &self,
+        model: &TierModel,
+    ) -> Result<(TierAvailability, EvalHealth), AvailError> {
+        let call = self.calls.get();
+        self.calls.set(call + 1);
+        self.apply(self.fault_for(call), model)
+    }
+}
+
+impl std::fmt::Debug for FaultInjectingEngine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjectingEngine")
+            .field("faults_by_call", &self.faults_by_call)
+            .field("seeded", &self.seeded)
+            .field("calls", &self.calls.get())
+            .field("injected", &self.injected.get())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CtmcEngine, FailureClass};
+    use aved_units::Duration;
+
+    fn model() -> TierModel {
+        TierModel::new(1, 1, 0).with_class(FailureClass::new(
+            "hw",
+            Duration::from_hours(1000.0).rate(),
+            Duration::from_hours(10.0),
+            Duration::ZERO,
+            false,
+        ))
+    }
+
+    #[test]
+    fn forwards_when_no_fault_scheduled() {
+        let inner = CtmcEngine::default();
+        let engine = FaultInjectingEngine::new(&inner);
+        let direct = inner.evaluate(&model()).unwrap();
+        let via = engine.evaluate(&model()).unwrap();
+        assert_eq!(direct, via);
+        assert_eq!(engine.calls(), 1);
+        assert_eq!(engine.injected(), 0);
+    }
+
+    #[test]
+    fn injects_non_convergence_at_the_scheduled_call() {
+        let inner = CtmcEngine::default();
+        let engine =
+            FaultInjectingEngine::new(&inner).with_fault_at(1, InjectedFault::NonConvergence);
+        assert!(engine.evaluate(&model()).is_ok());
+        let err = engine.evaluate(&model()).unwrap_err();
+        assert!(matches!(
+            err,
+            AvailError::Markov(MarkovError::NoConvergence { .. })
+        ));
+        assert!(engine.evaluate(&model()).is_ok());
+        assert_eq!(engine.injected(), 1);
+    }
+
+    #[test]
+    fn injects_nan_results_without_panicking() {
+        let inner = CtmcEngine::default();
+        let engine = FaultInjectingEngine::new(&inner).with_fault_at(0, InjectedFault::NanResult);
+        let r = engine.evaluate(&model()).unwrap();
+        assert!(r.unavailability().is_nan());
+    }
+
+    #[test]
+    fn delay_faults_forward_the_inner_result() {
+        let inner = CtmcEngine::default();
+        let engine = FaultInjectingEngine::new(&inner)
+            .with_fault_at(0, InjectedFault::Delay(std::time::Duration::from_millis(5)));
+        let started = std::time::Instant::now();
+        let r = engine.evaluate(&model()).unwrap();
+        assert!(started.elapsed() >= std::time::Duration::from_millis(5));
+        assert_eq!(r, inner.evaluate(&model()).unwrap());
+        assert_eq!(engine.injected(), 1);
+    }
+
+    #[test]
+    fn seeded_schedule_is_deterministic_and_sparse() {
+        let inner = CtmcEngine::default();
+        let run = |seed: u64| {
+            let engine = FaultInjectingEngine::new(&inner).with_seeded_faults(
+                seed,
+                4,
+                InjectedFault::NonConvergence,
+            );
+            (0..64)
+                .map(|_| engine.evaluate(&model()).is_err())
+                .collect::<Vec<bool>>()
+        };
+        let a = run(7);
+        assert_eq!(a, run(7), "same seed, same schedule");
+        assert_ne!(a, run(8), "different seed, different schedule");
+        let hits = a.iter().filter(|&&h| h).count();
+        assert!((4..=28).contains(&hits), "~1/4 of 64 calls, got {hits}");
+    }
+}

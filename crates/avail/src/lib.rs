@@ -31,18 +31,20 @@ mod engine_decomp;
 mod engine_sim;
 mod error;
 mod export;
+mod fault;
 mod mission;
 mod service;
 mod shared;
 mod tier_model;
 
 pub use derive::{derive_tier_model, loss_window, required_active};
-pub use engine::{AvailabilityEngine, TierAvailability};
+pub use engine::{AvailabilityEngine, EvalHealth, TierAvailability};
 pub use engine_ctmc::CtmcEngine;
 pub use engine_decomp::DecompositionEngine;
 pub use engine_sim::{RepairDistribution, SimulationEngine, SimulationReport};
 pub use error::AvailError;
 pub use export::{export_parameters, export_sharpe_markov};
+pub use fault::{FaultInjectingEngine, InjectedFault};
 pub use service::{combine_series, ServiceAvailability};
 pub use shared::SharedSubsystem;
 pub use tier_model::{FailureClass, TierModel};

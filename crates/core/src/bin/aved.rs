@@ -21,15 +21,90 @@ use aved::model::{Infrastructure, ParamValue, Service};
 use aved::units::Duration;
 use aved::{Aved, SearchOptions, ServiceRequirement};
 
+/// Exit code for bad command lines (with usage printed).
+const EXIT_USAGE: u8 = 2;
+/// Exit code for unreadable or unparsable model/spec files.
+const EXIT_SPEC: u8 = 3;
+/// Exit code for searches that complete but find no feasible design.
+const EXIT_INFEASIBLE: u8 = 4;
+/// Exit code for evaluation-engine or search failures.
+const EXIT_ENGINE: u8 = 5;
+
+/// A CLI failure: a distinct exit code plus the full error source chain.
+struct CliError {
+    code: u8,
+    message: String,
+    /// Rendered `Error::source` chain, outermost cause first.
+    chain: Vec<String>,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> CliError {
+        CliError {
+            code: EXIT_USAGE,
+            message: message.into(),
+            chain: Vec::new(),
+        }
+    }
+
+    /// Wraps a typed error, capturing its whole source chain for stderr.
+    fn wrap(code: u8, context: &str, error: &dyn std::error::Error) -> CliError {
+        let mut chain = Vec::new();
+        let mut source = error.source();
+        while let Some(e) = source {
+            chain.push(e.to_string());
+            source = e.source();
+        }
+        CliError {
+            code,
+            message: if context.is_empty() {
+                error.to_string()
+            } else {
+                format!("{context}: {error}")
+            },
+            chain,
+        }
+    }
+
+    fn spec(context: &str, error: &dyn std::error::Error) -> CliError {
+        CliError::wrap(EXIT_SPEC, context, error)
+    }
+
+    fn spec_msg(message: impl Into<String>) -> CliError {
+        CliError {
+            code: EXIT_SPEC,
+            message: message.into(),
+            chain: Vec::new(),
+        }
+    }
+
+    fn engine(error: &dyn std::error::Error) -> CliError {
+        CliError::wrap(EXIT_ENGINE, "", error)
+    }
+
+    fn infeasible() -> CliError {
+        CliError {
+            code: EXIT_INFEASIBLE,
+            message: "no design within the search bounds satisfies the requirement".into(),
+            chain: Vec::new(),
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            eprintln!();
-            eprintln!("{USAGE}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("error: {}", e.message);
+            for cause in &e.chain {
+                eprintln!("  caused by: {cause}");
+            }
+            if e.code == EXIT_USAGE {
+                eprintln!();
+                eprintln!("{USAGE}");
+            }
+            ExitCode::from(e.code)
         }
     }
 }
@@ -41,7 +116,7 @@ usage:
               (--requirement FILE | --load UNITS --max-downtime DUR |
                --max-execution-time DUR)
               [--engine ctmc|decomp|sim] [--max-spares N] [--max-extra N]
-              [--pin MECH.PARAM=VALUE]... [--explain]
+              [--pin MECH.PARAM=VALUE]... [--explain] [--strict]
   aved check  --infrastructure FILE [--service FILE]
   aved dump   --infrastructure FILE
   aved sweep  (--paper-ecommerce | --infrastructure FILE --service FILE)
@@ -50,7 +125,13 @@ usage:
   aved export-markov --infrastructure FILE --resource NAME
               --active N --min N [--spares N] [--pin MECH.PARAM=VALUE]...
 
-durations use the spec syntax: 30s, 2m, 8h, 650d";
+durations use the spec syntax: 30s, 2m, 8h, 650d
+
+--strict aborts a search on the first evaluation failure instead of
+skipping the failing candidate and reporting it in the health summary.
+
+exit codes: 0 success, 2 usage, 3 unreadable/unparsable model files,
+4 no feasible design, 5 evaluation-engine failure";
 
 struct Flags<'a> {
     args: &'a [String],
@@ -82,9 +163,9 @@ impl<'a> Flags<'a> {
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<(), CliError> {
     let Some(command) = args.first() else {
-        return Err("missing command".into());
+        return Err(CliError::usage("missing command"));
     };
     let flags = Flags { args: &args[1..] };
     match command.as_str() {
@@ -93,48 +174,52 @@ fn run(args: &[String]) -> Result<(), String> {
         "dump" => dump(&flags),
         "export-markov" => export_markov(&flags),
         "sweep" => sweep(&flags),
-        other => Err(format!("unknown command {other:?}")),
+        other => Err(CliError::usage(format!("unknown command {other:?}"))),
     }
 }
 
-fn load_infrastructure(flags: &Flags<'_>) -> Result<Infrastructure, String> {
+fn load_infrastructure(flags: &Flags<'_>) -> Result<Infrastructure, CliError> {
     if flags.has("--paper-ecommerce") || flags.has("--paper-scientific") {
-        return aved::scenario::infrastructure().map_err(|e| e.to_string());
+        return aved::scenario::infrastructure().map_err(|e| CliError::spec("paper scenario", &e));
     }
     let path = flags
         .value("--infrastructure")
-        .ok_or("missing --infrastructure FILE")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    aved::spec::parse_infrastructure(&text).map_err(|e| format!("{path}: {e}"))
+        .ok_or_else(|| CliError::usage("missing --infrastructure FILE"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::spec(path, &e))?;
+    aved::spec::parse_infrastructure(&text).map_err(|e| CliError::spec(path, &e))
 }
 
-fn load_service(flags: &Flags<'_>) -> Result<Service, String> {
+fn load_service(flags: &Flags<'_>) -> Result<Service, CliError> {
     if flags.has("--paper-ecommerce") {
-        return aved::scenario::ecommerce().map_err(|e| e.to_string());
+        return aved::scenario::ecommerce().map_err(|e| CliError::spec("paper scenario", &e));
     }
     if flags.has("--paper-scientific") {
-        return aved::scenario::scientific().map_err(|e| e.to_string());
+        return aved::scenario::scientific().map_err(|e| CliError::spec("paper scenario", &e));
     }
-    let path = flags.value("--service").ok_or("missing --service FILE")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    aved::spec::parse_service(&text).map_err(|e| format!("{path}: {e}"))
+    let path = flags
+        .value("--service")
+        .ok_or_else(|| CliError::usage("missing --service FILE"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::spec(path, &e))?;
+    aved::spec::parse_service(&text).map_err(|e| CliError::spec(path, &e))
 }
 
-fn parse_duration(s: &str) -> Result<Duration, String> {
+fn parse_duration(s: &str) -> Result<Duration, CliError> {
     s.parse()
-        .map_err(|e: aved::units::ParseDurationError| e.to_string())
+        .map_err(|e: aved::units::ParseDurationError| CliError::usage(e.to_string()))
 }
 
-fn design(flags: &Flags<'_>) -> Result<(), String> {
+fn design(flags: &Flags<'_>) -> Result<(), CliError> {
     let infrastructure = load_infrastructure(flags)?;
     let service = load_service(flags)?;
-    infrastructure.validate().map_err(|e| e.to_string())?;
+    infrastructure
+        .validate()
+        .map_err(|e| CliError::spec("infrastructure", &e))?;
     let explain = flags.has("--explain");
 
     let requirement =
         if let Some(path) = flags.value("--requirement") {
-            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-            aved::spec::parse_requirement(&text).map_err(|e| format!("{path}: {e}"))?
+            let text = std::fs::read_to_string(path).map_err(|e| CliError::spec(path, &e))?;
+            aved::spec::parse_requirement(&text).map_err(|e| CliError::spec(path, &e))?
         } else {
             match (
                 flags.value("--load"),
@@ -142,24 +227,30 @@ fn design(flags: &Flags<'_>) -> Result<(), String> {
                 flags.value("--max-execution-time"),
             ) {
                 (Some(load), Some(downtime), None) => {
-                    let load: f64 = load.parse().map_err(|_| "bad --load value")?;
+                    let load: f64 = load
+                        .parse()
+                        .map_err(|_| CliError::usage("bad --load value"))?;
                     ServiceRequirement::enterprise(load, parse_duration(downtime)?)
                 }
                 (None, None, Some(t)) => ServiceRequirement::job(parse_duration(t)?),
-                _ => return Err(
-                    "need --requirement FILE, or --load + --max-downtime, or --max-execution-time"
-                        .into(),
-                ),
+                _ => return Err(CliError::usage(
+                    "need --requirement FILE, or --load + --max-downtime, or --max-execution-time",
+                )),
             }
         };
 
     let mut options = SearchOptions::default();
     if let Some(v) = flags.value("--max-spares") {
-        options.max_spares = v.parse().map_err(|_| "bad --max-spares value")?;
+        options.max_spares = v
+            .parse()
+            .map_err(|_| CliError::usage("bad --max-spares value"))?;
     }
     if let Some(v) = flags.value("--max-extra") {
-        options.max_extra_active = v.parse().map_err(|_| "bad --max-extra value")?;
+        options.max_extra_active = v
+            .parse()
+            .map_err(|_| CliError::usage("bad --max-extra value"))?;
     }
+    options.strict = flags.has("--strict");
     parse_pins(flags, &mut options)?;
 
     let mut aved = Aved::new(infrastructure)
@@ -169,17 +260,14 @@ fn design(flags: &Flags<'_>) -> Result<(), String> {
         "decomp" => aved = aved.with_engine(DecompositionEngine::default()),
         "ctmc" => aved = aved.with_engine(CtmcEngine::default()),
         "sim" => aved = aved.with_engine(SimulationEngine::new(42).with_years(2000.0)),
-        other => return Err(format!("unknown engine {other:?}")),
+        other => return Err(CliError::usage(format!("unknown engine {other:?}"))),
     }
 
     match aved
         .design(&service, &requirement)
-        .map_err(|e| e.to_string())?
+        .map_err(|e| CliError::engine(&e))?
     {
-        None => {
-            println!("no design within the search bounds satisfies the requirement");
-            Ok(())
-        }
+        None => Err(CliError::infeasible()),
         Some(report) => {
             println!("minimum-cost design: {} per year", report.cost());
             if let Some(dt) = report.annual_downtime() {
@@ -191,9 +279,10 @@ fn design(flags: &Flags<'_>) -> Result<(), String> {
             for tier in report.design().tiers() {
                 println!("  {tier}");
             }
+            report_health(report.health());
             if explain {
                 let text = aved::explain_design(aved.infrastructure(), &service, &report)
-                    .map_err(|e| e.to_string())?;
+                    .map_err(|e| CliError::engine(&e))?;
                 println!("\n{text}");
             }
             Ok(())
@@ -201,14 +290,29 @@ fn design(flags: &Flags<'_>) -> Result<(), String> {
     }
 }
 
-fn parse_pins(flags: &Flags<'_>, options: &mut SearchOptions) -> Result<(), String> {
+/// Surfaces a degraded search on stderr so scripted pipelines notice it
+/// even when the design itself looks fine.
+fn report_health(health: &aved::search::SearchHealth) {
+    if !health.is_degraded() {
+        return;
+    }
+    eprintln!("warning: search degraded: {health}");
+    for skip in &health.skipped {
+        eprintln!(
+            "  skipped {}/{} ({} active, {} spare): {}",
+            skip.tier, skip.resource, skip.n_active, skip.n_spare, skip.error
+        );
+    }
+}
+
+fn parse_pins(flags: &Flags<'_>, options: &mut SearchOptions) -> Result<(), CliError> {
     for pin in flags.values("--pin") {
         let (target, value) = pin
             .split_once('=')
-            .ok_or("pins look like MECH.PARAM=VALUE")?;
+            .ok_or_else(|| CliError::usage("pins look like MECH.PARAM=VALUE"))?;
         let (mech, param) = target
             .split_once('.')
-            .ok_or("pins look like MECH.PARAM=VALUE")?;
+            .ok_or_else(|| CliError::usage("pins look like MECH.PARAM=VALUE"))?;
         let value = match value.parse::<Duration>() {
             Ok(d) => ParamValue::Duration(d),
             Err(_) => ParamValue::Level(value.to_owned()),
@@ -220,33 +324,44 @@ fn parse_pins(flags: &Flags<'_>, options: &mut SearchOptions) -> Result<(), Stri
 
 /// The cost/downtime Pareto frontier of one tier at a fixed load: the data
 /// a designer needs to pick their own point on the tradeoff.
-fn sweep(flags: &Flags<'_>) -> Result<(), String> {
+fn sweep(flags: &Flags<'_>) -> Result<(), CliError> {
     use aved::avail::DecompositionEngine;
-    use aved::search::{tier_pareto_frontier, CachingEngine, EvalContext};
+    use aved::search::{tier_pareto_frontier_with_health, CachingEngine, EvalContext};
 
     let infrastructure = load_infrastructure(flags)?;
     let service = load_service(flags)?;
-    infrastructure.validate().map_err(|e| e.to_string())?;
-    let tier = flags.value("--tier").ok_or("missing --tier NAME")?;
+    infrastructure
+        .validate()
+        .map_err(|e| CliError::spec("infrastructure", &e))?;
+    let tier = flags
+        .value("--tier")
+        .ok_or_else(|| CliError::usage("missing --tier NAME"))?;
     let load: f64 = flags
         .value("--load")
-        .ok_or("missing --load UNITS")?
+        .ok_or_else(|| CliError::usage("missing --load UNITS"))?
         .parse()
-        .map_err(|_| "bad --load value")?;
+        .map_err(|_| CliError::usage("bad --load value"))?;
     let mut options = SearchOptions::default();
     if let Some(v) = flags.value("--max-spares") {
-        options.max_spares = v.parse().map_err(|_| "bad --max-spares value")?;
+        options.max_spares = v
+            .parse()
+            .map_err(|_| CliError::usage("bad --max-spares value"))?;
     }
     if let Some(v) = flags.value("--max-extra") {
-        options.max_extra_active = v.parse().map_err(|_| "bad --max-extra value")?;
+        options.max_extra_active = v
+            .parse()
+            .map_err(|_| CliError::usage("bad --max-extra value"))?;
     }
+    options.strict = flags.has("--strict");
     parse_pins(flags, &mut options)?;
 
     let catalog = aved::scenario::catalog();
     let inner = DecompositionEngine::default();
     let engine = CachingEngine::new(&inner);
     let ctx = EvalContext::new(&infrastructure, &service, &catalog, &engine);
-    let frontier = tier_pareto_frontier(&ctx, tier, load, &options).map_err(|e| e.to_string())?;
+    let (frontier, health) = tier_pareto_frontier_with_health(&ctx, tier, load, &options)
+        .map_err(|e| CliError::engine(&e))?;
+    report_health(&health);
     if frontier.is_empty() {
         println!("no design of tier {tier} can support load {load}");
         return Ok(());
@@ -264,36 +379,40 @@ fn sweep(flags: &Flags<'_>) -> Result<(), String> {
     Ok(())
 }
 
-fn export_markov(flags: &Flags<'_>) -> Result<(), String> {
+fn export_markov(flags: &Flags<'_>) -> Result<(), CliError> {
     use aved::avail::{derive_tier_model, export_parameters, export_sharpe_markov, CtmcEngine};
     use aved::model::{FailureScope, Sizing, TierDesign};
 
     let infrastructure = load_infrastructure(flags)?;
-    infrastructure.validate().map_err(|e| e.to_string())?;
-    let resource = flags.value("--resource").ok_or("missing --resource NAME")?;
+    infrastructure
+        .validate()
+        .map_err(|e| CliError::spec("infrastructure", &e))?;
+    let resource = flags
+        .value("--resource")
+        .ok_or_else(|| CliError::usage("missing --resource NAME"))?;
     let n: u32 = flags
         .value("--active")
-        .ok_or("missing --active N")?
+        .ok_or_else(|| CliError::usage("missing --active N"))?
         .parse()
-        .map_err(|_| "bad --active value")?;
+        .map_err(|_| CliError::usage("bad --active value"))?;
     let m: u32 = flags
         .value("--min")
-        .ok_or("missing --min N")?
+        .ok_or_else(|| CliError::usage("missing --min N"))?
         .parse()
-        .map_err(|_| "bad --min value")?;
+        .map_err(|_| CliError::usage("bad --min value"))?;
     let s: u32 = flags
         .value("--spares")
         .map_or(Ok(0), str::parse)
-        .map_err(|_| "bad --spares value")?;
+        .map_err(|_| CliError::usage("bad --spares value"))?;
 
     let mut td = TierDesign::new("export", resource, n, s);
     for pin in flags.values("--pin") {
         let (target, value) = pin
             .split_once('=')
-            .ok_or("pins look like MECH.PARAM=VALUE")?;
+            .ok_or_else(|| CliError::usage("pins look like MECH.PARAM=VALUE"))?;
         let (mech, param) = target
             .split_once('.')
-            .ok_or("pins look like MECH.PARAM=VALUE")?;
+            .ok_or_else(|| CliError::usage("pins look like MECH.PARAM=VALUE"))?;
         let value = match value.parse::<Duration>() {
             Ok(d) => ParamValue::Duration(d),
             Err(_) => ParamValue::Level(value.to_owned()),
@@ -308,19 +427,21 @@ fn export_markov(flags: &Flags<'_>) -> Result<(), String> {
         FailureScope::Resource,
         m,
     )
-    .map_err(|e| e.to_string())?;
+    .map_err(|e| CliError::engine(&e))?;
     println!("{}", export_parameters(&model));
     let engine = CtmcEngine::default();
     print!(
         "{}",
-        export_sharpe_markov(&engine, &model).map_err(|e| e.to_string())?
+        export_sharpe_markov(&engine, &model).map_err(|e| CliError::engine(&e))?
     );
     Ok(())
 }
 
-fn check(flags: &Flags<'_>) -> Result<(), String> {
+fn check(flags: &Flags<'_>) -> Result<(), CliError> {
     let infrastructure = load_infrastructure(flags)?;
-    infrastructure.validate().map_err(|e| e.to_string())?;
+    infrastructure
+        .validate()
+        .map_err(|e| CliError::spec("infrastructure", &e))?;
     println!(
         "infrastructure OK: {} components, {} mechanisms, {} resources",
         infrastructure.components().count(),
@@ -332,11 +453,11 @@ fn check(flags: &Flags<'_>) -> Result<(), String> {
         for tier in service.tiers() {
             for opt in tier.options() {
                 if infrastructure.resource(opt.resource().as_str()).is_none() {
-                    return Err(format!(
+                    return Err(CliError::spec_msg(format!(
                         "tier {} references unknown resource {}",
                         tier.name(),
                         opt.resource()
-                    ));
+                    )));
                 }
             }
         }
@@ -349,7 +470,7 @@ fn check(flags: &Flags<'_>) -> Result<(), String> {
     Ok(())
 }
 
-fn dump(flags: &Flags<'_>) -> Result<(), String> {
+fn dump(flags: &Flags<'_>) -> Result<(), CliError> {
     let infrastructure = load_infrastructure(flags)?;
     print!("{}", aved::spec::write_infrastructure(&infrastructure));
     Ok(())

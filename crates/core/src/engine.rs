@@ -4,7 +4,8 @@ use aved_avail::{AvailabilityEngine, DecompositionEngine};
 use aved_model::{Design, Infrastructure, Service, ServiceRequirement};
 use aved_perf::Catalog;
 use aved_search::{
-    search_job_tier, search_service, CachingEngine, EvalContext, SearchError, SearchOptions,
+    search_job_tier, search_service_with_health, CachingEngine, EvalContext, SearchError,
+    SearchHealth, SearchOptions,
 };
 use aved_units::{Duration, Money};
 
@@ -15,6 +16,7 @@ pub struct DesignReport {
     cost: Money,
     annual_downtime: Option<Duration>,
     expected_job_time: Option<Duration>,
+    health: SearchHealth,
 }
 
 impl DesignReport {
@@ -42,6 +44,15 @@ impl DesignReport {
         self.expected_job_time
     }
 
+    /// How degraded the search behind this report was: candidates skipped
+    /// after engine failures, solver fallbacks taken, the worst accepted
+    /// residual, wall time. A clean run has
+    /// [`SearchHealth::is_degraded`] false.
+    #[must_use]
+    pub fn health(&self) -> &SearchHealth {
+        &self.health
+    }
+
     /// Assembles a report directly from parts. Test helper: real reports
     /// come from [`Aved::design`].
     #[doc(hidden)]
@@ -52,6 +63,7 @@ impl DesignReport {
             cost,
             annual_downtime: None,
             expected_job_time: None,
+            health: SearchHealth::default(),
         }
     }
 }
@@ -148,13 +160,18 @@ impl Aved {
                 min_throughput,
                 max_annual_downtime,
             } => {
-                let found =
-                    search_service(&ctx, *min_throughput, *max_annual_downtime, &self.options)?;
+                let (found, health) = search_service_with_health(
+                    &ctx,
+                    *min_throughput,
+                    *max_annual_downtime,
+                    &self.options,
+                )?;
                 Ok(found.map(|sd| DesignReport {
                     design: sd.to_design(),
                     cost: sd.cost(),
                     annual_downtime: Some(sd.annual_downtime()),
                     expected_job_time: None,
+                    health,
                 }))
             }
             ServiceRequirement::Job { max_execution_time } => {
@@ -174,11 +191,13 @@ impl Aved {
                 let tier_name = service.tiers()[0].name().as_str().to_owned();
                 let outcome =
                     search_job_tier(&ctx, &tier_name, *max_execution_time, &self.options)?;
+                let health = outcome.health().clone();
                 Ok(outcome.best().map(|best| DesignReport {
                     design: Design::new(vec![best.design().clone()]),
                     cost: best.cost(),
                     annual_downtime: Some(best.annual_downtime()),
                     expected_job_time: best.expected_job_time(),
+                    health,
                 }))
             }
         }
@@ -222,6 +241,11 @@ mod tests {
         assert!(report.annual_downtime().unwrap() <= Duration::from_mins(2000.0));
         assert!(report.cost().dollars() > 0.0);
         assert!(report.expected_job_time().is_none());
+        assert!(
+            !report.health().is_degraded(),
+            "clean engines must yield a clean health report: {}",
+            report.health()
+        );
     }
 
     #[test]

@@ -46,6 +46,30 @@ pub enum MarkovError {
         /// Residual at the point of giving up.
         residual: f64,
     },
+    /// An iterative solver exceeded its wall-clock budget.
+    TimedOut {
+        /// Number of iterations performed before the deadline hit.
+        iterations: usize,
+        /// The configured budget, in seconds.
+        budget_secs: f64,
+    },
+    /// A solver produced a solution whose balance residual `‖πQ‖∞`
+    /// exceeded the acceptance tolerance — a silently-wrong answer that a
+    /// per-sweep convergence criterion alone would have accepted.
+    ResidualTooLarge {
+        /// The measured residual `‖πQ‖∞`.
+        residual: f64,
+        /// The acceptance tolerance it had to meet.
+        tolerance: f64,
+    },
+    /// A solution contained NaN or infinite probabilities.
+    NonFiniteSolution,
+    /// A solver was configured with an invalid parameter (non-positive
+    /// tolerance, zero iteration budget, relaxation outside `(0, 1]`, ...).
+    InvalidSolverConfig {
+        /// Human-readable description of the rejected parameter.
+        detail: String,
+    },
 }
 
 impl fmt::Display for MarkovError {
@@ -72,6 +96,26 @@ impl fmt::Display for MarkovError {
                 f,
                 "iterative solver did not converge after {iterations} iterations (residual {residual:e})"
             ),
+            MarkovError::TimedOut {
+                iterations,
+                budget_secs,
+            } => write!(
+                f,
+                "solver exceeded its {budget_secs} s budget after {iterations} iterations"
+            ),
+            MarkovError::ResidualTooLarge {
+                residual,
+                tolerance,
+            } => write!(
+                f,
+                "solution rejected: balance residual {residual:e} exceeds tolerance {tolerance:e}"
+            ),
+            MarkovError::NonFiniteSolution => {
+                write!(f, "solution contains NaN or infinite probabilities")
+            }
+            MarkovError::InvalidSolverConfig { detail } => {
+                write!(f, "invalid solver configuration: {detail}")
+            }
         }
     }
 }
@@ -110,6 +154,27 @@ mod tests {
                     residual: 0.5,
                 },
                 "converge",
+            ),
+            (
+                MarkovError::TimedOut {
+                    iterations: 12,
+                    budget_secs: 1.5,
+                },
+                "budget",
+            ),
+            (
+                MarkovError::ResidualTooLarge {
+                    residual: 1e-3,
+                    tolerance: 1e-9,
+                },
+                "residual",
+            ),
+            (MarkovError::NonFiniteSolution, "NaN"),
+            (
+                MarkovError::InvalidSolverConfig {
+                    detail: "tolerance must be positive".into(),
+                },
+                "configuration",
             ),
         ];
         for (err, needle) in cases {

@@ -14,6 +14,9 @@
 //!   Gaussian elimination ([`DenseSolver`]), Gauss–Seidel sweeps
 //!   ([`GaussSeidelSolver`]) and uniformized power iteration
 //!   ([`PowerSolver`]);
+//! * [`FallbackSolver`] — a resilient policy chaining the three solvers
+//!   with per-attempt budgets and a `‖πQ‖∞` residual acceptance check,
+//!   recording every attempt in a [`SolveDiagnostics`] trail;
 //! * [`birth_death::steady_state`] — the closed-form product solution for
 //!   birth–death chains, used to cross-check the general solvers;
 //! * [`transient`] — uniformization-based transient analysis (probability
@@ -43,6 +46,7 @@ mod ctmc;
 mod error;
 mod explore;
 mod solve_dense;
+mod solve_fallback;
 mod solve_gauss_seidel;
 mod solve_power;
 pub mod transient;
@@ -53,6 +57,7 @@ pub use ctmc::{Ctmc, Transition};
 pub use error::MarkovError;
 pub use explore::{explore, Explored};
 pub use solve_dense::DenseSolver;
+pub use solve_fallback::{FallbackSolver, SolveAttempt, SolveDiagnostics, SolverKind};
 pub use solve_gauss_seidel::GaussSeidelSolver;
 pub use solve_power::PowerSolver;
 

@@ -30,24 +30,69 @@ pub struct GaussSeidelSolver {
     tolerance: f64,
     max_sweeps: usize,
     relaxation: f64,
+    time_budget: Option<std::time::Duration>,
 }
 
 impl GaussSeidelSolver {
     /// Creates a solver with the given relative per-sweep tolerance and
-    /// sweep limit.
+    /// sweep limit, validating both.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `tolerance` is not positive or `max_sweeps` is zero.
-    #[must_use]
-    pub fn new(tolerance: f64, max_sweeps: usize) -> GaussSeidelSolver {
-        assert!(tolerance > 0.0, "tolerance must be positive");
-        assert!(max_sweeps > 0, "max_sweeps must be positive");
-        GaussSeidelSolver {
+    /// Returns [`MarkovError::InvalidSolverConfig`] if `tolerance` is not a
+    /// positive finite number or `max_sweeps` is zero.
+    pub fn try_new(tolerance: f64, max_sweeps: usize) -> Result<GaussSeidelSolver, MarkovError> {
+        if !(tolerance > 0.0 && tolerance.is_finite()) {
+            return Err(MarkovError::InvalidSolverConfig {
+                detail: format!("tolerance must be positive and finite, got {tolerance}"),
+            });
+        }
+        if max_sweeps == 0 {
+            return Err(MarkovError::InvalidSolverConfig {
+                detail: "max_sweeps must be positive".into(),
+            });
+        }
+        Ok(GaussSeidelSolver {
             tolerance,
             max_sweeps,
             relaxation: 0.9,
+            time_budget: None,
+        })
+    }
+
+    /// Creates a solver with the given relative per-sweep tolerance and
+    /// sweep limit.
+    ///
+    /// Convenience for hard-coded parameters; use [`Self::try_new`] to
+    /// validate user-supplied values without panicking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tolerance` is not positive and finite or `max_sweeps` is
+    /// zero.
+    #[must_use]
+    pub fn new(tolerance: f64, max_sweeps: usize) -> GaussSeidelSolver {
+        GaussSeidelSolver::try_new(tolerance, max_sweeps).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Sets the relaxation factor `ω ∈ (0, 1]` applied to each update
+    /// (`π_j ← (1−ω)·π_j + ω·v`), validating it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::InvalidSolverConfig`] if `relaxation` is
+    /// outside `(0, 1]`.
+    pub fn try_with_relaxation(
+        mut self,
+        relaxation: f64,
+    ) -> Result<GaussSeidelSolver, MarkovError> {
+        if !(relaxation > 0.0 && relaxation <= 1.0) {
+            return Err(MarkovError::InvalidSolverConfig {
+                detail: format!("relaxation must be in (0, 1], got {relaxation}"),
+            });
         }
+        self.relaxation = relaxation;
+        Ok(self)
     }
 
     /// Sets the relaxation factor `ω ∈ (0, 1]` applied to each update
@@ -63,12 +108,19 @@ impl GaussSeidelSolver {
     ///
     /// Panics if `relaxation` is outside `(0, 1]`.
     #[must_use]
-    pub fn with_relaxation(mut self, relaxation: f64) -> GaussSeidelSolver {
-        assert!(
-            relaxation > 0.0 && relaxation <= 1.0,
-            "relaxation must be in (0, 1]"
-        );
-        self.relaxation = relaxation;
+    pub fn with_relaxation(self, relaxation: f64) -> GaussSeidelSolver {
+        self.try_with_relaxation(relaxation)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Caps the wall-clock time one solve may take; the budget is checked
+    /// every few sweeps, so overshoot is bounded by a handful of sweeps.
+    ///
+    /// Used by fallback policies to keep a stuck attempt from starving the
+    /// rest of the chain.
+    #[must_use]
+    pub fn with_time_budget(mut self, budget: std::time::Duration) -> GaussSeidelSolver {
+        self.time_budget = Some(budget);
         self
     }
 }
@@ -95,8 +147,18 @@ impl SteadyStateSolver for GaussSeidelSolver {
             in_edges[t.to].push((t.from, t.rate));
         }
 
+        let start = self.time_budget.map(|_| std::time::Instant::now());
         let mut pi = vec![1.0 / n as f64; n];
         for sweep in 0..self.max_sweeps {
+            if let (Some(budget), Some(start)) = (self.time_budget, start) {
+                // Check every 64 sweeps: cheap, bounded overshoot.
+                if sweep % 64 == 0 && start.elapsed() > budget {
+                    return Err(MarkovError::TimedOut {
+                        iterations: sweep,
+                        budget_secs: budget.as_secs_f64(),
+                    });
+                }
+            }
             let mut delta = 0.0_f64;
             for j in 0..n {
                 let exit = ctmc.exit_rate(j);
@@ -256,6 +318,37 @@ mod tests {
     #[should_panic(expected = "tolerance")]
     fn zero_tolerance_panics() {
         let _ = GaussSeidelSolver::new(0.0, 1);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_parameters_without_panicking() {
+        for (tol, sweeps) in [(0.0, 10), (-1.0, 10), (f64::NAN, 10), (1e-12, 0)] {
+            assert!(matches!(
+                GaussSeidelSolver::try_new(tol, sweeps),
+                Err(MarkovError::InvalidSolverConfig { .. })
+            ));
+        }
+        let solver = GaussSeidelSolver::try_new(1e-12, 10).unwrap();
+        assert!(matches!(
+            solver.try_with_relaxation(1.5),
+            Err(MarkovError::InvalidSolverConfig { .. })
+        ));
+        assert!(solver.try_with_relaxation(1.0).is_ok());
+    }
+
+    #[test]
+    fn zero_time_budget_times_out() {
+        let mut b = CtmcBuilder::new(6);
+        for i in 0..6 {
+            b.rate(i, (i + 1) % 6, 1.0 + i as f64);
+            b.rate((i + 1) % 6, i, 2.5 / (1.0 + i as f64));
+        }
+        let solver =
+            GaussSeidelSolver::new(1e-300, 100_000).with_time_budget(std::time::Duration::ZERO);
+        assert!(matches!(
+            solver.steady_state(&b.build().unwrap()),
+            Err(MarkovError::TimedOut { .. })
+        ));
     }
 
     proptest! {

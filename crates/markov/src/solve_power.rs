@@ -29,23 +29,56 @@ use crate::{Ctmc, MarkovError, SteadyStateSolver};
 pub struct PowerSolver {
     tolerance: f64,
     max_sweeps: usize,
+    time_budget: Option<std::time::Duration>,
 }
 
 impl PowerSolver {
     /// Creates a solver with the given per-sweep convergence tolerance
+    /// (max-norm of the change in `π`) and sweep limit, validating both.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::InvalidSolverConfig`] if `tolerance` is not a
+    /// positive finite number or `max_sweeps` is zero.
+    pub fn try_new(tolerance: f64, max_sweeps: usize) -> Result<PowerSolver, MarkovError> {
+        if !(tolerance > 0.0 && tolerance.is_finite()) {
+            return Err(MarkovError::InvalidSolverConfig {
+                detail: format!("tolerance must be positive and finite, got {tolerance}"),
+            });
+        }
+        if max_sweeps == 0 {
+            return Err(MarkovError::InvalidSolverConfig {
+                detail: "max_sweeps must be positive".into(),
+            });
+        }
+        Ok(PowerSolver {
+            tolerance,
+            max_sweeps,
+            time_budget: None,
+        })
+    }
+
+    /// Creates a solver with the given per-sweep convergence tolerance
     /// (max-norm of the change in `π`) and sweep limit.
+    ///
+    /// Convenience for hard-coded parameters; use [`Self::try_new`] to
+    /// validate user-supplied values without panicking.
     ///
     /// # Panics
     ///
-    /// Panics if `tolerance` is not positive or `max_sweeps` is zero.
+    /// Panics if `tolerance` is not positive and finite or `max_sweeps` is
+    /// zero.
     #[must_use]
     pub fn new(tolerance: f64, max_sweeps: usize) -> PowerSolver {
-        assert!(tolerance > 0.0, "tolerance must be positive");
-        assert!(max_sweeps > 0, "max_sweeps must be positive");
-        PowerSolver {
-            tolerance,
-            max_sweeps,
-        }
+        PowerSolver::try_new(tolerance, max_sweeps).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Caps the wall-clock time one solve may take; the budget is checked
+    /// every few sweeps, so overshoot is bounded by a handful of sweeps.
+    #[must_use]
+    pub fn with_time_budget(mut self, budget: std::time::Duration) -> PowerSolver {
+        self.time_budget = Some(budget);
+        self
     }
 
     /// The convergence tolerance.
@@ -86,10 +119,19 @@ impl SteadyStateSolver for PowerSolver {
             return Err(MarkovError::Reducible { state: 0 });
         }
 
+        let start = self.time_budget.map(|_| std::time::Instant::now());
         let mut pi = vec![1.0 / n as f64; n];
         let mut next = vec![0.0_f64; n];
         let mut last_delta = f64::INFINITY;
         for sweep in 0..self.max_sweeps {
+            if let (Some(budget), Some(start)) = (self.time_budget, start) {
+                if sweep % 64 == 0 && start.elapsed() > budget {
+                    return Err(MarkovError::TimedOut {
+                        iterations: sweep,
+                        budget_secs: budget.as_secs_f64(),
+                    });
+                }
+            }
             // next = pi * P = pi + (pi * Q) / lambda
             next.copy_from_slice(&pi);
             for t in ctmc.transitions() {
@@ -184,6 +226,31 @@ mod tests {
     #[should_panic(expected = "tolerance")]
     fn zero_tolerance_panics() {
         let _ = PowerSolver::new(0.0, 10);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_parameters_without_panicking() {
+        for (tol, sweeps) in [(0.0, 10), (-2.0, 10), (f64::INFINITY, 10), (1e-12, 0)] {
+            assert!(matches!(
+                PowerSolver::try_new(tol, sweeps),
+                Err(MarkovError::InvalidSolverConfig { .. })
+            ));
+        }
+        assert_eq!(
+            PowerSolver::try_new(1e-13, 5_000_000).unwrap(),
+            PowerSolver::default()
+        );
+    }
+
+    #[test]
+    fn zero_time_budget_times_out() {
+        let mut b = CtmcBuilder::new(2);
+        b.rate(0, 1, 1e-9).rate(1, 0, 1e3);
+        let solver = PowerSolver::new(1e-16, 1_000_000).with_time_budget(std::time::Duration::ZERO);
+        assert!(matches!(
+            solver.steady_state(&b.build().unwrap()),
+            Err(MarkovError::TimedOut { .. })
+        ));
     }
 
     proptest! {

@@ -79,6 +79,9 @@ pub struct TierDesign {
     settings: BTreeMap<(MechanismName, ParamName), ParamValue>,
 }
 
+// Referenced via `#[serde(with = ...)]`, which the offline serde stub's
+// derive ignores — hence the allow; remove it with the registry serde.
+#[allow(dead_code)]
 mod settings_serde {
     use super::{BTreeMap, MechanismName, ParamName, ParamValue};
     use serde::{Deserialize, Deserializer, Serialize, Serializer};

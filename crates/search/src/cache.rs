@@ -3,7 +3,7 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 
-use aved_avail::{AvailError, AvailabilityEngine, TierAvailability, TierModel};
+use aved_avail::{AvailError, AvailabilityEngine, EvalHealth, TierAvailability, TierModel};
 
 /// An [`AvailabilityEngine`] decorator that memoizes results by model.
 ///
@@ -38,7 +38,7 @@ use aved_avail::{AvailError, AvailabilityEngine, TierAvailability, TierModel};
 /// ```
 pub struct CachingEngine<'a> {
     inner: &'a dyn AvailabilityEngine,
-    cache: RefCell<HashMap<String, TierAvailability>>,
+    cache: RefCell<HashMap<String, (TierAvailability, EvalHealth)>>,
     hits: RefCell<u64>,
     misses: RefCell<u64>,
 }
@@ -70,14 +70,23 @@ impl<'a> CachingEngine<'a> {
 
 impl AvailabilityEngine for CachingEngine<'_> {
     fn evaluate(&self, model: &TierModel) -> Result<TierAvailability, AvailError> {
+        self.evaluate_with_health(model).map(|(r, _)| r)
+    }
+
+    fn evaluate_with_health(
+        &self,
+        model: &TierModel,
+    ) -> Result<(TierAvailability, EvalHealth), AvailError> {
         // The Debug rendering is a complete, deterministic serialization of
         // the model (all fields derive Debug), making it a sound cache key.
+        // Health is cached alongside the result so fallback accounting
+        // reflects what the solve would have cost, hit or miss.
         let key = format!("{model:?}");
         if let Some(hit) = self.cache.borrow().get(&key) {
             *self.hits.borrow_mut() += 1;
             return Ok(*hit);
         }
-        let result = self.inner.evaluate(model)?;
+        let result = self.inner.evaluate_with_health(model)?;
         *self.misses.borrow_mut() += 1;
         self.cache.borrow_mut().insert(key, result);
         Ok(result)

@@ -23,6 +23,10 @@ pub struct SearchOptions {
     /// (the paper's Fig. 7 fixes the maintenance contract to bronze "to
     /// avoid overloading the graphs").
     pub pins: Vec<(MechanismName, String, ParamValue)>,
+    /// Fail-fast mode: when `true`, the first evaluation failure aborts the
+    /// search instead of skipping the candidate and recording the skip in
+    /// the search's `SearchHealth` report.
+    pub strict: bool,
 }
 
 impl Default for SearchOptions {
@@ -35,6 +39,7 @@ impl Default for SearchOptions {
             max_spares: 3,
             spare_modes: vec![SpareMode::AllInactive],
             pins: Vec::new(),
+            strict: false,
         }
     }
 }
@@ -46,6 +51,14 @@ impl SearchOptions {
         if !self.spare_modes.contains(&SpareMode::AllActive) {
             self.spare_modes.push(SpareMode::AllActive);
         }
+        self
+    }
+
+    /// Aborts on the first evaluation failure instead of isolating it to
+    /// the failing candidate.
+    #[must_use]
+    pub fn with_strict(mut self) -> SearchOptions {
+        self.strict = true;
         self
     }
 

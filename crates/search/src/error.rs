@@ -24,6 +24,29 @@ pub enum SearchError {
     Avail(aved_avail::AvailError),
     /// The design-space model is inconsistent.
     Model(aved_model::ModelError),
+    /// An evaluation produced a NaN or infinite metric — a silently-wrong
+    /// engine result that must never reach a frontier comparison.
+    NonFiniteEvaluation {
+        /// Which metric was non-finite, and its value.
+        detail: String,
+    },
+}
+
+impl SearchError {
+    /// `true` when the error condemns only the candidate being evaluated
+    /// (an engine failure or a non-finite result) rather than the whole
+    /// search (an unknown tier, an unresolvable reference, an inconsistent
+    /// model — which would fail every candidate identically).
+    ///
+    /// Non-strict searches skip candidates with candidate-scoped errors
+    /// and record them in their `SearchHealth` report.
+    #[must_use]
+    pub fn is_candidate_scoped(&self) -> bool {
+        matches!(
+            self,
+            SearchError::Avail(_) | SearchError::NonFiniteEvaluation { .. }
+        )
+    }
 }
 
 impl fmt::Display for SearchError {
@@ -36,6 +59,9 @@ impl fmt::Display for SearchError {
             SearchError::Catalog(e) => write!(f, "catalog error: {e}"),
             SearchError::Avail(e) => write!(f, "availability error: {e}"),
             SearchError::Model(e) => write!(f, "model error: {e}"),
+            SearchError::NonFiniteEvaluation { detail } => {
+                write!(f, "evaluation produced a non-finite metric: {detail}")
+            }
         }
     }
 }
@@ -82,5 +108,21 @@ mod tests {
         assert!(Error::source(&e).is_some());
         let e: SearchError = aved_model::ModelError::Invalid { detail: "y".into() }.into();
         assert!(Error::source(&e).is_some());
+        let e = SearchError::NonFiniteEvaluation {
+            detail: "cost = NaN".into(),
+        };
+        assert!(e.to_string().contains("non-finite"));
+        assert!(Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn candidate_scoped_errors_are_engine_and_nonfinite_failures() {
+        let engine: SearchError =
+            aved_avail::AvailError::InvalidModel { detail: "x".into() }.into();
+        assert!(engine.is_candidate_scoped());
+        assert!(SearchError::NonFiniteEvaluation { detail: "x".into() }.is_candidate_scoped());
+        assert!(!SearchError::UnknownTier { tier: "db".into() }.is_candidate_scoped());
+        let model: SearchError = aved_model::ModelError::Invalid { detail: "y".into() }.into();
+        assert!(!model.is_candidate_scoped());
     }
 }

@@ -1,6 +1,6 @@
 //! Attaching cost, availability and completion time to a candidate design.
 
-use aved_avail::{derive_tier_model, loss_window, TierAvailability};
+use aved_avail::{derive_tier_model, loss_window, EvalHealth, TierAvailability};
 use aved_jobtime::JobParams;
 use aved_model::{tier_design_cost, ResourceOption, TierDesign};
 use aved_units::{Duration, Money};
@@ -15,6 +15,7 @@ pub struct EvaluatedDesign {
     availability: TierAvailability,
     min_for_perf: u32,
     expected_job_time: Option<Duration>,
+    health: EvalHealth,
 }
 
 impl EvaluatedDesign {
@@ -61,6 +62,45 @@ impl EvaluatedDesign {
     pub fn expected_job_time(&self) -> Option<Duration> {
         self.expected_job_time
     }
+
+    /// How degraded this candidate's availability evaluation was (solver
+    /// fallbacks taken, worst accepted residual).
+    #[must_use]
+    pub fn eval_health(&self) -> EvalHealth {
+        self.health
+    }
+
+    /// Assembles an evaluated design directly from parts, bypassing every
+    /// engine and finiteness guard. Test-only: lets guard tests feed
+    /// deliberately-broken metrics to downstream code.
+    #[cfg(test)]
+    pub(crate) fn for_tests(
+        design: TierDesign,
+        cost: Money,
+        availability: TierAvailability,
+        expected_job_time: Option<Duration>,
+    ) -> EvaluatedDesign {
+        EvaluatedDesign {
+            design,
+            cost,
+            availability,
+            min_for_perf: 1,
+            expected_job_time,
+            health: EvalHealth::default(),
+        }
+    }
+}
+
+/// Rejects NaN/∞ evaluation metrics before they can reach a frontier or
+/// best-so-far comparison, where they would silently corrupt the ordering.
+fn ensure_finite(metric: &str, value: f64) -> Result<(), SearchError> {
+    if value.is_finite() {
+        Ok(())
+    } else {
+        Err(SearchError::NonFiniteEvaluation {
+            detail: format!("{metric} = {value}"),
+        })
+    }
 }
 
 /// Evaluates a candidate design of an enterprise-service tier under a
@@ -88,6 +128,7 @@ pub fn evaluate_enterprise_design(
         return Ok(None);
     }
     let cost = tier_design_cost(ctx.infrastructure(), td)?.total();
+    ensure_finite("cost", cost.dollars())?;
     let model = derive_tier_model(
         ctx.infrastructure(),
         td,
@@ -95,13 +136,15 @@ pub fn evaluate_enterprise_design(
         option.failure_scope(),
         min_for_perf,
     )?;
-    let availability = ctx.engine().evaluate(&model)?;
+    let (availability, health) = ctx.engine().evaluate_with_health(&model)?;
+    ensure_finite("unavailability", availability.unavailability())?;
     Ok(Some(EvaluatedDesign {
         design: td.clone(),
         cost,
         availability,
         min_for_perf,
         expected_job_time: None,
+        health,
     }))
 }
 
@@ -134,6 +177,7 @@ pub fn evaluate_job_design(
         return Ok(None);
     }
     let cost = tier_design_cost(ctx.infrastructure(), td)?.total();
+    ensure_finite("cost", cost.dollars())?;
     let model = derive_tier_model(
         ctx.infrastructure(),
         td,
@@ -141,7 +185,8 @@ pub fn evaluate_job_design(
         option.failure_scope(),
         td.n_active(),
     )?;
-    let availability = ctx.engine().evaluate(&model)?;
+    let (availability, health) = ctx.engine().evaluate_with_health(&model)?;
+    ensure_finite("unavailability", availability.unavailability())?;
 
     // Failure-free computation time, inflated by checkpoint overhead when
     // the option uses a checkpoint mechanism with an mperformance function.
@@ -181,6 +226,7 @@ pub fn evaluate_job_design(
         params = params.with_loss_window(lw);
     }
     let expected = params.expected_completion();
+    ensure_finite("expected job time", expected.seconds())?;
 
     Ok(Some(EvaluatedDesign {
         design: td.clone(),
@@ -188,6 +234,7 @@ pub fn evaluate_job_design(
         availability,
         min_for_perf: td.n_active(),
         expected_job_time: Some(expected),
+        health,
     }))
 }
 
@@ -317,6 +364,25 @@ mod tests {
         let long = eval(1440.0);
         assert!(mid < short, "mid {} short {}", mid.hours(), short.hours());
         assert!(mid < long, "mid {} long {}", mid.hours(), long.hours());
+    }
+
+    #[test]
+    fn nan_engine_results_are_rejected_before_any_comparison() {
+        let fx = app_tier_fixture();
+        let inner = CtmcEngine::default();
+        let engine = aved_avail::FaultInjectingEngine::new(&inner)
+            .with_fault_at(0, aved_avail::InjectedFault::NanResult);
+        let ctx = fx.context(&engine);
+        let option = ctx.tier("application").unwrap().option_for("rC").unwrap();
+        let td = TierDesign::new("application", "rC", 3, 0).with_setting(
+            "maintenanceA",
+            "level",
+            ParamValue::Level("bronze".into()),
+        );
+        assert!(matches!(
+            evaluate_enterprise_design(&ctx, option, &td, 400.0),
+            Err(SearchError::NonFiniteEvaluation { .. })
+        ));
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! Cost/quality Pareto frontiers — the data behind the paper's Figs. 6–8.
 
+use std::time::Instant;
+
 use aved_units::Duration;
 
+use crate::health::isolate_candidate;
 use crate::{
     enumerate_tier_candidates, evaluate_enterprise_design, evaluate_job_design, EvalContext,
-    EvaluatedDesign, SearchError, SearchOptions,
+    EvaluatedDesign, SearchError, SearchHealth, SearchOptions,
 };
 
 /// Computes the cost/downtime Pareto frontier of one enterprise tier at a
@@ -18,14 +21,34 @@ use crate::{
 ///
 /// # Errors
 ///
-/// Returns [`SearchError`] for unknown tiers or evaluation failures.
+/// Returns [`SearchError`] for unknown tiers, or for evaluation failures
+/// in strict mode.
 pub fn tier_pareto_frontier(
     ctx: &EvalContext<'_>,
     tier_name: &str,
     load: f64,
     options: &SearchOptions,
 ) -> Result<Vec<EvaluatedDesign>, SearchError> {
+    tier_pareto_frontier_with_health(ctx, tier_name, load, options).map(|(f, _)| f)
+}
+
+/// Like [`tier_pareto_frontier`], additionally reporting the sweep's
+/// [`SearchHealth`] (candidates skipped after evaluation failures, solver
+/// fallbacks, worst accepted residual, wall time).
+///
+/// # Errors
+///
+/// Returns [`SearchError`] for unknown tiers, or for evaluation failures
+/// in strict mode.
+pub fn tier_pareto_frontier_with_health(
+    ctx: &EvalContext<'_>,
+    tier_name: &str,
+    load: f64,
+    options: &SearchOptions,
+) -> Result<(Vec<EvaluatedDesign>, SearchHealth), SearchError> {
+    let started = Instant::now();
     let tier = ctx.tier(tier_name)?;
+    let mut health = SearchHealth::default();
     let mut all: Vec<EvaluatedDesign> = Vec::new();
     for option in tier.options() {
         let perf = ctx.catalog().resolve_perf(option.performance())?;
@@ -44,13 +67,19 @@ pub fn tier_pareto_frontier(
                 start_active,
                 options,
             ) {
-                if let Some(e) = evaluate_enterprise_design(ctx, option, &td, load)? {
+                if let Some(e) = isolate_candidate(
+                    evaluate_enterprise_design(ctx, option, &td, load),
+                    options.strict,
+                    &mut health,
+                    &td,
+                )? {
                     all.push(e);
                 }
             }
         }
     }
-    Ok(pareto_by(all, |e| e.annual_downtime()))
+    health.wall_time = started.elapsed();
+    Ok((pareto_by(all, |e| e.annual_downtime()), health))
 }
 
 /// Computes the cost/completion-time Pareto frontier of a finite-job tier
@@ -63,14 +92,32 @@ pub fn tier_pareto_frontier(
 /// # Errors
 ///
 /// Returns [`SearchError`] for unknown tiers, missing job size, or
-/// evaluation failures.
+/// evaluation failures in strict mode.
 pub fn job_frontier(
     ctx: &EvalContext<'_>,
     tier_name: &str,
     totals: &[u32],
     options: &SearchOptions,
 ) -> Result<Vec<EvaluatedDesign>, SearchError> {
+    job_frontier_with_health(ctx, tier_name, totals, options).map(|(f, _)| f)
+}
+
+/// Like [`job_frontier`], additionally reporting the sweep's
+/// [`SearchHealth`].
+///
+/// # Errors
+///
+/// Returns [`SearchError`] for unknown tiers, missing job size, or
+/// evaluation failures in strict mode.
+pub fn job_frontier_with_health(
+    ctx: &EvalContext<'_>,
+    tier_name: &str,
+    totals: &[u32],
+    options: &SearchOptions,
+) -> Result<(Vec<EvaluatedDesign>, SearchHealth), SearchError> {
+    let started = Instant::now();
     let tier = ctx.tier(tier_name)?;
+    let mut health = SearchHealth::default();
     let mut all: Vec<EvaluatedDesign> = Vec::new();
     for option in tier.options() {
         for &n_total in totals {
@@ -85,16 +132,27 @@ pub fn job_frontier(
                 1,
                 options,
             ) {
-                if let Some(e) = evaluate_job_design(ctx, option, &td)? {
+                if let Some(e) = isolate_candidate(
+                    evaluate_job_design(ctx, option, &td),
+                    options.strict,
+                    &mut health,
+                    &td,
+                )? {
                     all.push(e);
                 }
             }
         }
     }
-    Ok(pareto_by(all, |e| {
-        e.expected_job_time()
-            .expect("job evaluations carry a completion time")
-    }))
+    health.wall_time = started.elapsed();
+    // Job evaluations always carry a completion time; should one ever
+    // not, ranking it last keeps it off the frontier.
+    Ok((
+        pareto_by(all, |e| {
+            e.expected_job_time()
+                .unwrap_or(Duration::from_secs(f64::INFINITY))
+        }),
+        health,
+    ))
 }
 
 /// Keeps the Pareto-optimal designs under (cost, quality) where smaller is
@@ -104,12 +162,18 @@ fn pareto_by<F>(mut all: Vec<EvaluatedDesign>, quality: F) -> Vec<EvaluatedDesig
 where
     F: Fn(&EvaluatedDesign) -> Duration,
 {
+    // The evaluation layer guarantees finite metrics (NaN/∞ results become
+    // errors and the candidate is skipped); this is the last line of
+    // defense in front of the ordering.
+    debug_assert!(
+        all.iter()
+            .all(|e| e.cost().dollars().is_finite() && !quality(e).seconds().is_nan()),
+        "non-finite metric reached the frontier comparison"
+    );
     all.sort_by(|a, b| {
-        a.cost().total_cmp(&b.cost()).then_with(|| {
-            quality(a)
-                .partial_cmp(&quality(b))
-                .expect("durations compare")
-        })
+        a.cost()
+            .total_cmp(&b.cost())
+            .then_with(|| quality(a).seconds().total_cmp(&quality(b).seconds()))
     });
     let mut frontier: Vec<EvaluatedDesign> = Vec::new();
     let mut best_quality: Option<Duration> = None;
@@ -219,6 +283,48 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "non-finite metric")]
+    fn infinite_cost_trips_the_frontier_guard() {
+        use aved_avail::TierAvailability;
+        let e = EvaluatedDesign::for_tests(
+            aved_model::TierDesign::new("t", "r", 1, 0),
+            aved_units::Money::from_dollars(f64::INFINITY),
+            TierAvailability::new(0.5, aved_units::Rate::ZERO),
+            None,
+        );
+        let _ = pareto_by(vec![e], |e| e.annual_downtime());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_downtime_cannot_even_be_constructed() {
+        // NaN quality can never reach pareto_by: the unit types reject NaN
+        // at construction, one layer below the frontier's own debug guard.
+        use aved_avail::TierAvailability;
+        let e = EvaluatedDesign::for_tests(
+            aved_model::TierDesign::new("t", "r", 1, 0),
+            aved_units::Money::from_dollars(1.0),
+            TierAvailability::new_unchecked(f64::NAN, aved_units::Rate::ZERO),
+            None,
+        );
+        let _ = e.annual_downtime();
+    }
+
+    #[test]
+    fn frontier_with_health_reports_a_clean_sweep() {
+        let fx = app_tier_fixture();
+        let engine = DecompositionEngine::default();
+        let ctx = fx.context(&engine);
+        let (frontier, health) =
+            tier_pareto_frontier_with_health(&ctx, "application", 800.0, &small_opts()).unwrap();
+        assert!(!frontier.is_empty());
+        assert!(!health.is_degraded());
+        assert_eq!(health.candidates_skipped(), 0);
+        assert!(health.wall_time > std::time::Duration::ZERO);
     }
 
     #[test]

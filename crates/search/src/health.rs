@@ -1,0 +1,227 @@
+//! Degraded-mode accounting for searches.
+//!
+//! A search that survives engine failures is only trustworthy if it says
+//! *how much* it survived: which candidates were dropped, how often the
+//! steady-state solver had to fall back, and how sloppy the worst accepted
+//! solution was. [`SearchHealth`] is that report. Every search entry point
+//! produces one; a clean run has zero skips, zero fallbacks and no
+//! residual worth mentioning.
+
+use aved_avail::EvalHealth;
+use aved_model::TierDesign;
+
+use crate::SearchError;
+
+/// One candidate design dropped from a search because its evaluation
+/// failed (and the search was not in strict mode).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkippedCandidate {
+    /// Tier the candidate belonged to.
+    pub tier: String,
+    /// Resource type of the candidate.
+    pub resource: String,
+    /// Active resources in the candidate.
+    pub n_active: u32,
+    /// Spare resources in the candidate.
+    pub n_spare: u32,
+    /// The rendered evaluation error.
+    pub error: String,
+}
+
+impl SkippedCandidate {
+    fn from_failure(td: &TierDesign, error: &SearchError) -> SkippedCandidate {
+        SkippedCandidate {
+            tier: td.tier().as_str().to_owned(),
+            resource: td.resource().as_str().to_owned(),
+            n_active: td.n_active(),
+            n_spare: td.n_spare(),
+            error: error.to_string(),
+        }
+    }
+}
+
+/// How degraded a search run was: candidates skipped after evaluation
+/// failures, solver fallbacks taken, the worst accepted balance residual,
+/// and the wall-clock time spent.
+///
+/// Equality ignores [`wall_time`](SearchHealth::wall_time): two runs that
+/// made the same decisions are equal even though timing is never
+/// reproducible.
+#[derive(Debug, Clone, Default)]
+pub struct SearchHealth {
+    /// Candidates dropped because their evaluation failed.
+    pub skipped: Vec<SkippedCandidate>,
+    /// Solver fallbacks taken across all successful evaluations.
+    pub fallbacks_taken: u64,
+    /// Worst accepted balance residual `‖πQ‖∞` across all successful
+    /// evaluations, when the engine measures one.
+    pub worst_residual: Option<f64>,
+    /// Wall-clock time the search took.
+    pub wall_time: std::time::Duration,
+}
+
+impl PartialEq for SearchHealth {
+    fn eq(&self, other: &SearchHealth) -> bool {
+        self.skipped == other.skipped
+            && self.fallbacks_taken == other.fallbacks_taken
+            && self.worst_residual == other.worst_residual
+    }
+}
+
+impl SearchHealth {
+    /// Number of candidates dropped after evaluation failures.
+    #[must_use]
+    pub fn candidates_skipped(&self) -> usize {
+        self.skipped.len()
+    }
+
+    /// `true` when the search took any degraded path: a candidate was
+    /// skipped or a solver fallback was needed.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        !self.skipped.is_empty() || self.fallbacks_taken > 0
+    }
+
+    /// Folds one successful evaluation's health into this report.
+    pub fn absorb_eval(&mut self, eval: EvalHealth) {
+        self.fallbacks_taken += u64::from(eval.fallbacks);
+        self.worst_residual = match (self.worst_residual, eval.worst_residual) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+
+    /// Folds another search's health into this one (used when a service
+    /// search aggregates its per-tier frontier sweeps). Wall times add.
+    pub fn merge(&mut self, other: SearchHealth) {
+        self.skipped.extend(other.skipped);
+        self.fallbacks_taken += other.fallbacks_taken;
+        self.worst_residual = match (self.worst_residual, other.worst_residual) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        self.wall_time += other.wall_time;
+    }
+
+    /// Records a candidate skipped because `error` occurred.
+    pub(crate) fn record_skip(&mut self, td: &TierDesign, error: &SearchError) {
+        self.skipped.push(SkippedCandidate::from_failure(td, error));
+    }
+}
+
+impl std::fmt::Display for SearchHealth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} candidate(s) skipped, {} solver fallback(s)",
+            self.skipped.len(),
+            self.fallbacks_taken
+        )?;
+        if let Some(r) = self.worst_residual {
+            write!(f, ", worst residual {r:.2e}")?;
+        }
+        write!(f, ", {:.1} ms", self.wall_time.as_secs_f64() * 1e3)
+    }
+}
+
+/// Applies the per-candidate isolation policy to one evaluation result.
+///
+/// Candidate-scoped failures (engine errors, non-finite metrics) are
+/// recorded in `health` and converted to "not a candidate" unless the
+/// search is strict; structural errors (unknown tiers, unresolvable
+/// references, inconsistent models) always propagate — they would fail
+/// every candidate, so skipping is just slower failure.
+pub(crate) fn isolate_candidate(
+    result: Result<Option<crate::EvaluatedDesign>, SearchError>,
+    strict: bool,
+    health: &mut SearchHealth,
+    td: &TierDesign,
+) -> Result<Option<crate::EvaluatedDesign>, SearchError> {
+    match result {
+        Ok(Some(e)) => {
+            health.absorb_eval(e.eval_health());
+            Ok(Some(e))
+        }
+        Ok(None) => Ok(None),
+        Err(e) if !strict && e.is_candidate_scoped() => {
+            health.record_skip(td, &e);
+            Ok(None)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skip(n: usize) -> Vec<SkippedCandidate> {
+        (0..n)
+            .map(|i| SkippedCandidate {
+                tier: "t".into(),
+                resource: "r".into(),
+                n_active: 1,
+                n_spare: 0,
+                error: format!("e{i}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_health_is_not_degraded() {
+        let h = SearchHealth::default();
+        assert!(!h.is_degraded());
+        assert_eq!(h.candidates_skipped(), 0);
+    }
+
+    #[test]
+    fn absorbing_eval_health_accumulates_fallbacks_and_residual() {
+        let mut h = SearchHealth::default();
+        h.absorb_eval(EvalHealth {
+            fallbacks: 2,
+            worst_residual: Some(1e-12),
+        });
+        h.absorb_eval(EvalHealth {
+            fallbacks: 0,
+            worst_residual: Some(3e-11),
+        });
+        assert_eq!(h.fallbacks_taken, 2);
+        assert_eq!(h.worst_residual, Some(3e-11));
+        assert!(h.is_degraded());
+    }
+
+    #[test]
+    fn merge_combines_every_field() {
+        let mut a = SearchHealth {
+            skipped: skip(1),
+            fallbacks_taken: 1,
+            worst_residual: Some(1e-12),
+            wall_time: std::time::Duration::from_millis(5),
+        };
+        let b = SearchHealth {
+            skipped: skip(2),
+            fallbacks_taken: 3,
+            worst_residual: Some(1e-10),
+            wall_time: std::time::Duration::from_millis(7),
+        };
+        a.merge(b);
+        assert_eq!(a.candidates_skipped(), 3);
+        assert_eq!(a.fallbacks_taken, 4);
+        assert_eq!(a.worst_residual, Some(1e-10));
+        assert_eq!(a.wall_time, std::time::Duration::from_millis(12));
+    }
+
+    #[test]
+    fn display_summarizes_the_run() {
+        let h = SearchHealth {
+            skipped: skip(1),
+            fallbacks_taken: 2,
+            worst_residual: Some(1.5e-11),
+            wall_time: std::time::Duration::from_millis(3),
+        };
+        let s = h.to_string();
+        assert!(s.contains("1 candidate(s) skipped"), "{s}");
+        assert!(s.contains("2 solver fallback(s)"), "{s}");
+        assert!(s.contains("1.50e-11"), "{s}");
+    }
+}

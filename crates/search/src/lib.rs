@@ -20,6 +20,12 @@
 //!   cost/quality tradeoff curves behind the paper's Figs. 6–8;
 //! * [`search_service`] composes per-tier frontiers into a minimum-cost
 //!   multi-tier design by greedy marginal-cost refinement.
+//!
+//! Searches are resilient by default: an engine failure or non-finite
+//! metric on one candidate skips that candidate rather than aborting the
+//! run ([`SearchOptions::strict`] restores fail-fast), and every entry
+//! point reports a [`SearchHealth`] saying how degraded the run was —
+//! candidates skipped, solver fallbacks taken, worst accepted residual.
 
 mod cache;
 mod candidate;
@@ -27,6 +33,7 @@ mod context;
 mod error;
 mod evaluate;
 mod frontier;
+mod health;
 mod multi_tier;
 mod sensitivity;
 #[cfg(test)]
@@ -38,7 +45,10 @@ pub use candidate::{enumerate_settings, enumerate_tier_candidates, SearchOptions
 pub use context::EvalContext;
 pub use error::SearchError;
 pub use evaluate::{evaluate_enterprise_design, evaluate_job_design, EvaluatedDesign};
-pub use frontier::{job_frontier, tier_pareto_frontier};
-pub use multi_tier::{search_service, ServiceDesign};
+pub use frontier::{
+    job_frontier, job_frontier_with_health, tier_pareto_frontier, tier_pareto_frontier_with_health,
+};
+pub use health::{SearchHealth, SkippedCandidate};
+pub use multi_tier::{search_service, search_service_with_health, ServiceDesign};
 pub use sensitivity::{mtbf_sensitivity, scale_mtbfs, SensitivityRow};
 pub use tier_search::{search_job_tier, search_tier, SearchOutcome, SearchStats};

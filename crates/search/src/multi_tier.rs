@@ -1,10 +1,15 @@
 //! Multi-tier composition and refinement (paper §4.1, first paragraph).
 
+use std::time::Instant;
+
 use aved_avail::combine_series;
 use aved_model::Design;
 use aved_units::{Duration, Money};
 
-use crate::{tier_pareto_frontier, EvalContext, EvaluatedDesign, SearchError, SearchOptions};
+use crate::{
+    tier_pareto_frontier_with_health, EvalContext, EvaluatedDesign, SearchError, SearchHealth,
+    SearchOptions,
+};
 
 /// A complete multi-tier design with its evaluation.
 #[derive(Debug, Clone, PartialEq)]
@@ -110,6 +115,10 @@ fn compose_exact(
 /// requirements for that tier incrementally more aggressive" — until the
 /// service requirement holds or every frontier is exhausted.
 ///
+/// Candidate evaluation failures are isolated to the failing candidate
+/// (unless [`SearchOptions::strict`]); use
+/// [`search_service_with_health`] to see how degraded the run was.
+///
 /// # Errors
 ///
 /// Returns [`SearchError`] for evaluation failures; an unsatisfiable
@@ -120,6 +129,26 @@ pub fn search_service(
     max_downtime: Duration,
     options: &SearchOptions,
 ) -> Result<Option<ServiceDesign>, SearchError> {
+    search_service_with_health(ctx, load, max_downtime, options).map(|(d, _)| d)
+}
+
+/// Like [`search_service`], additionally reporting the aggregated
+/// [`SearchHealth`] of every per-tier frontier sweep: candidates skipped
+/// after evaluation failures, solver fallbacks taken, the worst accepted
+/// residual, and the total wall time.
+///
+/// # Errors
+///
+/// Returns [`SearchError`] for evaluation failures; an unsatisfiable
+/// requirement yields `Ok((None, health))`.
+pub fn search_service_with_health(
+    ctx: &EvalContext<'_>,
+    load: f64,
+    max_downtime: Duration,
+    options: &SearchOptions,
+) -> Result<(Option<ServiceDesign>, SearchHealth), SearchError> {
+    let started = Instant::now();
+    let mut health = SearchHealth::default();
     let tier_names: Vec<String> = ctx
         .service()
         .tiers()
@@ -130,9 +159,11 @@ pub fn search_service(
     // Per-tier frontiers, cheapest first.
     let mut frontiers: Vec<Vec<EvaluatedDesign>> = Vec::with_capacity(tier_names.len());
     for name in &tier_names {
-        let f = tier_pareto_frontier(ctx, name, load, options)?;
+        let (f, tier_health) = tier_pareto_frontier_with_health(ctx, name, load, options)?;
+        health.merge(tier_health);
         if f.is_empty() {
-            return Ok(None); // a tier cannot support the load at all
+            health.wall_time = started.elapsed();
+            return Ok((None, health)); // a tier cannot support the load at all
         }
         frontiers.push(f);
     }
@@ -142,7 +173,9 @@ pub fn search_service(
     // the scalable fallback.
     let product: usize = frontiers.iter().map(Vec::len).product();
     if product <= EXACT_COMPOSITION_LIMIT {
-        return Ok(compose_exact(&frontiers, max_downtime));
+        let found = compose_exact(&frontiers, max_downtime);
+        health.wall_time = started.elapsed();
+        return Ok((found, health));
     }
 
     // Start from the individually-cheapest choices.
@@ -155,11 +188,15 @@ pub fn search_service(
             .collect();
         let (cost, downtime) = compose(&current);
         if downtime <= max_downtime {
-            return Ok(Some(ServiceDesign {
-                tiers: current,
-                cost,
-                annual_downtime: downtime,
-            }));
+            health.wall_time = started.elapsed();
+            return Ok((
+                Some(ServiceDesign {
+                    tiers: current,
+                    cost,
+                    annual_downtime: downtime,
+                }),
+                health,
+            ));
         }
         // Upgrade the tier with the best marginal downtime reduction per
         // dollar.
@@ -182,7 +219,10 @@ pub fn search_service(
         }
         match best_step {
             Some((t, _)) => index[t] += 1,
-            None => return Ok(None), // frontiers exhausted
+            None => {
+                health.wall_time = started.elapsed();
+                return Ok((None, health)); // frontiers exhausted
+            }
         }
     }
 }
@@ -243,6 +283,48 @@ mod tests {
         let ctx = fx.context(&engine);
         let out = search_service(&ctx, 400.0, Duration::from_secs(0.0001), &small_opts()).unwrap();
         assert!(out.is_none());
+    }
+
+    #[test]
+    fn injected_failure_does_not_change_the_service_winner() {
+        // Baseline run, instrumented only to count engine calls.
+        let fx = app_tier_fixture();
+        let inner = DecompositionEngine::default();
+        let counting = aved_avail::FaultInjectingEngine::new(&inner);
+        let ctx = fx.context(&counting);
+        let budget = Duration::from_mins(5000.0);
+        let (baseline, base_health) =
+            search_service_with_health(&ctx, 400.0, budget, &small_opts()).unwrap();
+        let baseline = baseline.expect("feasible");
+        assert!(!base_health.is_degraded());
+        let n_calls = counting.calls();
+        assert!(n_calls > 1);
+
+        // Kill the last evaluated candidate: under a loose budget the
+        // winner is a cheap composition, never the maximal-redundancy tail
+        // candidate evaluated last.
+        let faulty = aved_avail::FaultInjectingEngine::new(&inner)
+            .with_fault_at(n_calls - 1, aved_avail::InjectedFault::NonConvergence);
+        let ctx = fx.context(&faulty);
+        let (found, health) =
+            search_service_with_health(&ctx, 400.0, budget, &small_opts()).unwrap();
+        let found = found.expect("search completes despite the failure");
+        assert_eq!(found.cost(), baseline.cost());
+        assert_eq!(found.to_design(), baseline.to_design());
+        assert_eq!(health.candidates_skipped(), 1);
+        assert_eq!(faulty.injected(), 1);
+    }
+
+    #[test]
+    fn strict_service_search_fails_fast() {
+        let fx = app_tier_fixture();
+        let inner = DecompositionEngine::default();
+        let faulty = aved_avail::FaultInjectingEngine::new(&inner)
+            .with_fault_at(0, aved_avail::InjectedFault::NonConvergence);
+        let ctx = fx.context(&faulty);
+        let strict = small_opts().with_strict();
+        let err = search_service(&ctx, 400.0, Duration::from_mins(5000.0), &strict).unwrap_err();
+        assert!(matches!(err, crate::SearchError::Avail(_)), "{err}");
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! The per-tier search algorithm of paper §4.1.
 
+use std::time::Instant;
+
 use aved_units::Duration;
 
+use crate::health::isolate_candidate;
 use crate::{
     enumerate_tier_candidates, evaluate_enterprise_design, evaluate_job_design, EvalContext,
-    EvaluatedDesign, SearchError, SearchOptions,
+    EvaluatedDesign, SearchError, SearchHealth, SearchOptions,
 };
 
 /// Counters describing how much work a search did — the basis of the
@@ -32,11 +35,15 @@ pub enum SearchOutcome {
         best: EvaluatedDesign,
         /// Work counters.
         stats: SearchStats,
+        /// Degraded-mode report: skips, fallbacks, worst residual.
+        health: SearchHealth,
     },
     /// No design in the (bounded) space satisfies the requirement.
     Infeasible {
         /// Work counters.
         stats: SearchStats,
+        /// Degraded-mode report: skips, fallbacks, worst residual.
+        health: SearchHealth,
     },
 }
 
@@ -54,7 +61,19 @@ impl SearchOutcome {
     #[must_use]
     pub fn stats(&self) -> &SearchStats {
         match self {
-            SearchOutcome::Found { stats, .. } | SearchOutcome::Infeasible { stats } => stats,
+            SearchOutcome::Found { stats, .. } | SearchOutcome::Infeasible { stats, .. } => stats,
+        }
+    }
+
+    /// The degraded-mode report: candidates skipped after evaluation
+    /// failures, solver fallbacks taken, worst accepted residual, wall
+    /// time. A trustworthy result has [`SearchHealth::is_degraded`] false.
+    #[must_use]
+    pub fn health(&self) -> &SearchHealth {
+        match self {
+            SearchOutcome::Found { health, .. } | SearchOutcome::Infeasible { health, .. } => {
+                health
+            }
         }
     }
 }
@@ -79,9 +98,16 @@ const DEGRADE_PATIENCE: usize = 2;
 ///    downtime keeps degrading with added resources while nothing is
 ///    feasible.
 ///
+/// Evaluation failures are isolated to the failing candidate: the
+/// candidate is skipped, the skip is recorded in the outcome's
+/// [`SearchHealth`], and the search continues — unless
+/// [`SearchOptions::strict`] is set, in which case the first failure
+/// aborts the search.
+///
 /// # Errors
 ///
-/// Returns [`SearchError`] for unknown tiers or evaluation failures.
+/// Returns [`SearchError`] for unknown tiers, or for evaluation failures
+/// in strict mode.
 pub fn search_tier(
     ctx: &EvalContext<'_>,
     tier_name: &str,
@@ -89,8 +115,10 @@ pub fn search_tier(
     max_downtime: Duration,
     options: &SearchOptions,
 ) -> Result<SearchOutcome, SearchError> {
+    let started = Instant::now();
     let tier = ctx.tier(tier_name)?;
     let mut stats = SearchStats::default();
+    let mut health = SearchHealth::default();
     let mut best: Option<EvaluatedDesign> = None;
 
     for option in tier.options() {
@@ -151,7 +179,13 @@ pub fn search_tier(
                         continue;
                     }
                 }
-                let Some(evaluated) = evaluate_enterprise_design(ctx, option, td, load)? else {
+                let Some(evaluated) = isolate_candidate(
+                    evaluate_enterprise_design(ctx, option, td, load),
+                    options.strict,
+                    &mut health,
+                    td,
+                )?
+                else {
                     continue;
                 };
                 stats.quality_evaluations += 1;
@@ -187,9 +221,14 @@ pub fn search_tier(
         }
     }
 
+    health.wall_time = started.elapsed();
     Ok(match best {
-        Some(best) => SearchOutcome::Found { best, stats },
-        None => SearchOutcome::Infeasible { stats },
+        Some(best) => SearchOutcome::Found {
+            best,
+            stats,
+            health,
+        },
+        None => SearchOutcome::Infeasible { stats, health },
     })
 }
 
@@ -209,6 +248,7 @@ pub fn search_job_tier(
     max_execution_time: Duration,
     options: &SearchOptions,
 ) -> Result<SearchOutcome, SearchError> {
+    let started = Instant::now();
     let tier = ctx.tier(tier_name)?;
     let job_size = ctx
         .service()
@@ -217,6 +257,7 @@ pub fn search_job_tier(
             detail: "service declares no jobsize".into(),
         })?;
     let mut stats = SearchStats::default();
+    let mut health = SearchHealth::default();
     let mut best: Option<EvaluatedDesign> = None;
 
     for option in tier.options() {
@@ -285,13 +326,21 @@ pub fn search_job_tier(
                         continue;
                     }
                 }
-                let Some(evaluated) = evaluate_job_design(ctx, option, td)? else {
+                let Some(evaluated) = isolate_candidate(
+                    evaluate_job_design(ctx, option, td),
+                    options.strict,
+                    &mut health,
+                    td,
+                )?
+                else {
                     continue;
                 };
                 stats.quality_evaluations += 1;
-                let time = evaluated
-                    .expected_job_time()
-                    .expect("job evaluation always yields a completion time");
+                let Some(time) = evaluated.expected_job_time() else {
+                    return Err(SearchError::RequirementMismatch {
+                        detail: "job evaluation yielded no completion time".into(),
+                    });
+                };
                 if best_quality_here.is_none_or(|q| time < q) {
                     best_quality_here = Some(time);
                 }
@@ -299,7 +348,7 @@ pub fn search_job_tier(
                     && best.as_ref().is_none_or(|b| {
                         evaluated.cost() < b.cost()
                             || (evaluated.cost() == b.cost()
-                                && time < b.expected_job_time().expect("job evaluation"))
+                                && b.expected_job_time().is_none_or(|bt| time < bt))
                     });
                 if wins {
                     best = Some(evaluated);
@@ -326,9 +375,14 @@ pub fn search_job_tier(
         }
     }
 
+    health.wall_time = started.elapsed();
     Ok(match best {
-        Some(best) => SearchOutcome::Found { best, stats },
-        None => SearchOutcome::Infeasible { stats },
+        Some(best) => SearchOutcome::Found {
+            best,
+            stats,
+            health,
+        },
+        None => SearchOutcome::Infeasible { stats, health },
     })
 }
 
@@ -548,6 +602,108 @@ mod tests {
         let (loose, tight) = (loose.best().unwrap(), tight.best().unwrap());
         assert!(tight.cost() > loose.cost());
         assert!(tight.design().n_active() > loose.design().n_active());
+    }
+
+    #[test]
+    fn injected_engine_failure_is_isolated_to_one_candidate() {
+        // Call 0 evaluates the cheapest candidate at the minimum count,
+        // which cannot meet a 50-minute budget — so killing it must not
+        // change the winner, only show up in the health report.
+        let fx = app_tier_fixture();
+        let inner = DecompositionEngine::default();
+        let clean_ctx = fx.context(&inner);
+        let baseline = search_tier(
+            &clean_ctx,
+            "application",
+            400.0,
+            Duration::from_mins(50.0),
+            &opts(),
+        )
+        .unwrap();
+
+        let faulty = aved_avail::FaultInjectingEngine::new(&inner)
+            .with_fault_at(0, aved_avail::InjectedFault::NonConvergence);
+        let ctx = fx.context(&faulty);
+        let out = search_tier(
+            &ctx,
+            "application",
+            400.0,
+            Duration::from_mins(50.0),
+            &opts(),
+        )
+        .unwrap();
+
+        let (baseline, best) = (baseline.best().unwrap(), out.best().expect("still found"));
+        assert_eq!(best.cost(), baseline.cost());
+        assert_eq!(best.design(), baseline.design());
+        assert_eq!(out.health().candidates_skipped(), 1);
+        assert!(out.health().is_degraded());
+        let skip = &out.health().skipped[0];
+        assert_eq!(skip.tier, "application");
+        assert!(skip.error.contains("availability error"), "{}", skip.error);
+        assert_eq!(faulty.injected(), 1);
+    }
+
+    #[test]
+    fn injected_nan_result_is_skipped_not_compared() {
+        let fx = app_tier_fixture();
+        let inner = DecompositionEngine::default();
+        let faulty = aved_avail::FaultInjectingEngine::new(&inner)
+            .with_fault_at(0, aved_avail::InjectedFault::NanResult);
+        let ctx = fx.context(&faulty);
+        let out = search_tier(
+            &ctx,
+            "application",
+            400.0,
+            Duration::from_mins(50.0),
+            &opts(),
+        )
+        .unwrap();
+        assert!(out.best().is_some());
+        assert_eq!(out.health().candidates_skipped(), 1);
+        assert!(
+            out.health().skipped[0].error.contains("non-finite"),
+            "{}",
+            out.health().skipped[0].error
+        );
+    }
+
+    #[test]
+    fn strict_mode_fails_fast_on_injected_failure() {
+        let fx = app_tier_fixture();
+        let inner = DecompositionEngine::default();
+        let faulty = aved_avail::FaultInjectingEngine::new(&inner)
+            .with_fault_at(0, aved_avail::InjectedFault::NonConvergence);
+        let ctx = fx.context(&faulty);
+        let strict = opts().with_strict();
+        let err = search_tier(
+            &ctx,
+            "application",
+            400.0,
+            Duration::from_mins(50.0),
+            &strict,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SearchError::Avail(_)), "{err}");
+        assert_eq!(faulty.calls(), 1, "no candidate after the failing one");
+    }
+
+    #[test]
+    fn clean_search_reports_clean_health() {
+        let fx = app_tier_fixture();
+        let engine = DecompositionEngine::default();
+        let ctx = fx.context(&engine);
+        let out = search_tier(
+            &ctx,
+            "application",
+            400.0,
+            Duration::from_mins(10_000.0),
+            &opts(),
+        )
+        .unwrap();
+        assert!(!out.health().is_degraded());
+        assert_eq!(out.health().fallbacks_taken, 0);
+        assert!(out.health().wall_time > std::time::Duration::ZERO);
     }
 
     #[test]

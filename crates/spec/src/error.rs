@@ -22,6 +22,7 @@ pub enum SpecErrorKind {
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpecError {
     line: usize,
+    column: Option<usize>,
     kind: SpecErrorKind,
 }
 
@@ -30,13 +31,31 @@ impl SpecError {
     /// errors).
     #[must_use]
     pub fn new(line: usize, kind: SpecErrorKind) -> SpecError {
-        SpecError { line, kind }
+        SpecError {
+            line,
+            column: None,
+            kind,
+        }
+    }
+
+    /// Attaches a 1-based column. For logical lines joined from several
+    /// physical lines, the column counts within the joined text.
+    #[must_use]
+    pub fn with_column(mut self, column: usize) -> SpecError {
+        self.column = Some(column);
+        self
     }
 
     /// The 1-based line number (0 when not tied to a line).
     #[must_use]
     pub fn line(&self) -> usize {
         self.line
+    }
+
+    /// The 1-based column, when the error is tied to one.
+    #[must_use]
+    pub fn column(&self) -> Option<usize> {
+        self.column
     }
 
     /// The error category and message.
@@ -49,7 +68,10 @@ impl SpecError {
 impl fmt::Display for SpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.line > 0 {
-            write!(f, "line {}: ", self.line)?;
+            match self.column {
+                Some(c) => write!(f, "line {}, column {c}: ", self.line)?,
+                None => write!(f, "line {}: ", self.line)?,
+            }
         }
         match &self.kind {
             SpecErrorKind::Lex(m) => write!(f, "lex error: {m}"),
@@ -84,6 +106,13 @@ mod tests {
         let e = SpecError::new(42, SpecErrorKind::Lex("bad token".into()));
         assert!(e.to_string().contains("line 42"));
         assert!(e.to_string().contains("bad token"));
+    }
+
+    #[test]
+    fn display_includes_column_when_present() {
+        let e = SpecError::new(7, SpecErrorKind::Lex("missing '='".into())).with_column(12);
+        assert_eq!(e.column(), Some(12));
+        assert!(e.to_string().contains("line 7, column 12"), "{e}");
     }
 
     #[test]

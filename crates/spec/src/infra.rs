@@ -218,7 +218,12 @@ impl InfraParser {
     }
 
     fn resource_slot(&mut self, line: &Line) -> Result<(), SpecError> {
-        let resource = self.resource.as_mut().expect("checked by caller");
+        let resource = self.resource.as_mut().ok_or_else(|| {
+            structure(
+                line.number,
+                "resource component outside a resource declaration".into(),
+            )
+        })?;
         let component = word(line.number, line.keyword())?.to_owned();
         let depend_attr = line
             .attr("depend")

@@ -152,8 +152,9 @@ pub fn lex_document(text: &str) -> Result<Vec<Line>, SpecError> {
     logical
         .into_iter()
         .map(|(number, body)| {
-            let attrs =
-                lex_line(&body).map_err(|m| SpecError::new(number, SpecErrorKind::Lex(m)))?;
+            let attrs = lex_line(&body).map_err(|e| {
+                SpecError::new(number, SpecErrorKind::Lex(e.message)).with_column(e.column)
+            })?;
             if attrs.is_empty() {
                 return Err(SpecError::new(
                     number,
@@ -178,7 +179,20 @@ fn unbalanced(s: &str) -> bool {
     depth > 0
 }
 
-fn lex_line(body: &str) -> Result<Vec<Attr>, String> {
+/// A lexing failure within one logical line: where (1-based column into
+/// the joined logical text) and what.
+struct LexFailure {
+    column: usize,
+    message: String,
+}
+
+impl LexFailure {
+    fn at(column: usize, message: String) -> LexFailure {
+        LexFailure { column, message }
+    }
+}
+
+fn lex_line(body: &str) -> Result<Vec<Attr>, LexFailure> {
     let mut attrs = Vec::new();
     let chars: Vec<char> = body.chars().collect();
     let mut i = 0;
@@ -197,7 +211,7 @@ fn lex_line(body: &str) -> Result<Vec<Attr>, String> {
         }
         let name: String = chars[name_start..i].iter().collect();
         if name.is_empty() {
-            return Err(format!("expected attribute name at column {}", i + 1));
+            return Err(LexFailure::at(i + 1, "expected attribute name".into()));
         }
         // Optional (args).
         let mut args = Vec::new();
@@ -214,34 +228,48 @@ fn lex_line(body: &str) -> Result<Vec<Attr>, String> {
                 i += 1;
             }
             if depth > 0 {
-                return Err(format!("unterminated argument list for {name}"));
+                return Err(LexFailure::at(
+                    args_start,
+                    format!("unterminated argument list for {name}"),
+                ));
             }
             let inner: String = chars[args_start..i - 1].iter().collect();
             args = split_top_level_commas(&inner);
         }
         // '='
         if i >= n || chars[i] != '=' {
-            return Err(format!("expected '=' after attribute {name}"));
+            return Err(LexFailure::at(
+                i + 1,
+                format!("expected '=' after attribute {name}"),
+            ));
         }
         i += 1;
         // Value.
         if i >= n {
-            return Err(format!("missing value for attribute {name}"));
+            return Err(LexFailure::at(
+                i + 1,
+                format!("missing value for attribute {name}"),
+            ));
         }
         let value = match chars[i] {
             '<' => {
+                let ref_open = i + 1;
                 let start = i + 1;
                 while i < n && chars[i] != '>' {
                     i += 1;
                 }
                 if i >= n {
-                    return Err(format!("unterminated reference for attribute {name}"));
+                    return Err(LexFailure::at(
+                        ref_open,
+                        format!("unterminated reference for attribute {name}"),
+                    ));
                 }
                 let r: String = chars[start..i].iter().collect();
                 i += 1;
                 Value::Ref(r.trim().to_owned())
             }
             '[' => {
+                let bracket_open = i + 1;
                 let mut depth = 1;
                 let start = i + 1;
                 i += 1;
@@ -254,7 +282,10 @@ fn lex_line(body: &str) -> Result<Vec<Attr>, String> {
                     i += 1;
                 }
                 if depth > 0 {
-                    return Err(format!("unterminated bracket for attribute {name}"));
+                    return Err(LexFailure::at(
+                        bracket_open,
+                        format!("unterminated bracket for attribute {name}"),
+                    ));
                 }
                 let inner: String = chars[start..i - 1].iter().collect();
                 Value::Bracket(inner.split_whitespace().collect::<Vec<_>>().join(" "))
@@ -388,17 +419,25 @@ mod tests {
 
     #[test]
     fn missing_equals_is_error() {
-        assert!(lex_document("component machineA\n").is_err());
+        let err = lex_document("component machineA\n").unwrap_err();
+        // "component" is followed by whitespace, not '='; the complaint
+        // points at the column right after the name.
+        assert_eq!(err.column(), Some(10), "{err}");
+        assert!(err.to_string().contains("expected '='"), "{err}");
     }
 
     #[test]
     fn missing_value_is_error() {
-        assert!(lex_document("component=\n").is_err());
+        let err = lex_document("component=\n").unwrap_err();
+        assert_eq!(err.column(), Some(11), "{err}");
+        assert!(err.to_string().contains("missing value"), "{err}");
     }
 
     #[test]
     fn unterminated_ref_is_error() {
-        assert!(lex_document("mttr=<maintenanceA\n").is_err());
+        let err = lex_document("mttr=<maintenanceA\n").unwrap_err();
+        assert_eq!(err.column(), Some(6), "{err}");
+        assert!(err.to_string().contains("unterminated reference"), "{err}");
     }
 
     #[test]

@@ -105,10 +105,12 @@ impl ServiceParser {
     fn flush_tier(&mut self) -> Result<(), SpecError> {
         self.flush_option()?;
         if let Some(t) = self.tier.take() {
-            let svc = self
-                .service
-                .take()
-                .expect("tier is only created inside an application");
+            let svc = self.service.take().ok_or_else(|| {
+                structure(
+                    0,
+                    format!("tier {} has no enclosing application", t.name().as_str()),
+                )
+            })?;
             self.service = Some(svc.with_tier(t));
         }
         Ok(())
@@ -218,7 +220,12 @@ impl ServiceParser {
     }
 
     fn apply_option_attrs(&mut self, line: &Line) -> Result<(), SpecError> {
-        let ob = self.option.as_mut().expect("checked by callers");
+        let ob = self.option.as_mut().ok_or_else(|| {
+            structure(
+                line.number,
+                format!("{}= outside a resource option", line.keyword().name),
+            )
+        })?;
         for attr in &line.attrs {
             match attr.name.as_str() {
                 "nActive" | "nactive" => {
@@ -290,9 +297,12 @@ fn parse_n_active(number: usize, body: &str) -> Result<NActiveSpec, SpecError> {
     };
     // A span `min-max` or a list of explicit counts.
     if value_parts.len() == 1 && value_parts[0].contains('-') {
-        let (lo, hi) = value_parts[0]
-            .split_once('-')
-            .expect("contains('-') checked");
+        let Some((lo, hi)) = value_parts[0].split_once('-') else {
+            return Err(value_err(
+                number,
+                &format!("{:?} is not an nActive span", value_parts[0]),
+            ));
+        };
         let min = parse_u32(lo)?;
         let max = parse_u32(hi)?;
         if min == 0 || max < min {

@@ -1,0 +1,96 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this stub keeps the
+//! workspace's benches compiling (and runnable as coarse smoke timers)
+//! without the real statistics machinery. `cargo bench` runs each
+//! `bench_function` body a handful of times and prints a mean wall-time —
+//! useful as a sanity check, not a rigorous measurement.
+
+use std::time::Instant;
+
+/// Re-export so benches written against `criterion::black_box` also work.
+pub use std::hint::black_box;
+
+/// The benchmark driver handle passed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup {
+        println!("group {name}");
+        BenchmarkGroup { iterations: 3 }
+    }
+}
+
+/// A named collection of benchmarks; mirrors criterion's builder methods.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    iterations: u32,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for compatibility; the stub runs a fixed small number of
+    /// iterations regardless.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Times `f` over a few iterations and prints the mean.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { elapsed_ns: 0 };
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            f(&mut bencher);
+        }
+        let total = start.elapsed();
+        println!(
+            "  {id}: {:.3} ms/iter (stub, {} iters)",
+            total.as_secs_f64() * 1e3 / f64::from(self.iterations),
+            self.iterations
+        );
+        self
+    }
+
+    /// No-op; present for API compatibility.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` runs the measured body.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Runs the measured body once per outer iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        self.elapsed_ns += start.elapsed().as_nanos();
+    }
+}
+
+/// Declares a bench group entry point; mirrors criterion's macro shape.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

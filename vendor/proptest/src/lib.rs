@@ -1,0 +1,505 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this stub reproduces the
+//! subset of proptest this workspace uses: the [`strategy::Strategy`] trait
+//! with `prop_map`/`prop_flat_map`/`boxed`, range and tuple and collection
+//! strategies, `Just`, `prop::bool::ANY`, string-regex strategies (loosely:
+//! arbitrary printable strings), the `proptest!`/`prop_assert!`/
+//! `prop_assert_eq!`/`prop_oneof!` macros, and `ProptestConfig::with_cases`.
+//!
+//! Semantics differ from real proptest in one deliberate way: cases are
+//! sampled from a deterministic per-test RNG and failures are **not
+//! shrunk** — the failing input is printed as-is. Determinism means a
+//! failure always reproduces with plain `cargo test`.
+
+pub mod test_runner {
+    /// FNV-1a hash of a string; used to give each property its own stream.
+    #[must_use]
+    pub fn fnv1a(s: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in s.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Deterministic splitmix64 generator driving all sampling.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Builds the RNG for one test case.
+        #[must_use]
+        pub fn for_case(seed: u64) -> TestRng {
+            TestRng {
+                state: seed ^ 0x517C_C1B7_2722_0A95,
+            }
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
+        }
+
+        /// Uniform draw in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: usize) -> usize {
+            assert!(n > 0, "below(0)");
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+
+    /// Per-property configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` random cases.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 32 }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value tree and no shrinking: a
+    /// strategy is just a sampler.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then samples the strategy `f` builds from it.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Erases the strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn sample(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice between boxed alternatives; built by `prop_oneof!`.
+    pub struct OneOf<T>(pub Vec<BoxedStrategy<T>>);
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+            let idx = rng.below(self.0.len());
+            self.0[idx].sample(rng)
+        }
+    }
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($ty:ty),* $(,)?) => {
+            $(impl Strategy for core::ops::Range<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u64).wrapping_sub(self.start as u64);
+                    self.start.wrapping_add((rng.next_u64() % span) as $ty)
+                }
+            })*
+        };
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident . $idx:tt),+)),* $(,)?) => {
+            $(impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            })*
+        };
+    }
+
+    tuple_strategy!(
+        (A.0, B.1),
+        (A.0, B.1, C.2),
+        (A.0, B.1, C.2, D.3),
+        (A.0, B.1, C.2, D.3, E.4),
+        (A.0, B.1, C.2, D.3, E.4, F.5),
+    );
+
+    /// A `Vec` of strategies samples each element, yielding a `Vec` of
+    /// values (mirrors real proptest).
+    impl<S: Strategy> Strategy for Vec<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            self.iter().map(|s| s.sample(rng)).collect()
+        }
+    }
+
+    /// String-regex strategies, approximated: samples an arbitrary printable
+    /// ASCII string (plus occasional newlines and tabs) whose length is
+    /// drawn from the `{m,n}` repetition bound if one appears at the end of
+    /// the pattern (defaults to `0..64`). The regex *content* is ignored —
+    /// close enough for never-panics fuzzing, which is the only use here.
+    impl Strategy for &str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            let (min, max) = parse_repeat_bound(self).unwrap_or((0, 64));
+            let len = if max > min {
+                min + rng.below(max - min + 1)
+            } else {
+                min
+            };
+            (0..len)
+                .map(|_| {
+                    // Mostly printable ASCII, with some structure-relevant
+                    // characters mixed in to stress the lexer.
+                    match rng.below(20) {
+                        0 => '\n',
+                        1 => '\t',
+                        2 => '=',
+                        3 => '[',
+                        4 => ']',
+                        5 => '\\',
+                        _ => char::from(32 + rng.below(95) as u8),
+                    }
+                })
+                .collect()
+        }
+    }
+
+    fn parse_repeat_bound(pattern: &str) -> Option<(usize, usize)> {
+        let body = pattern.strip_suffix('}')?;
+        let open = body.rfind('{')?;
+        let mut parts = body[open + 1..].splitn(2, ',');
+        let min = parts.next()?.trim().parse().ok()?;
+        let max = parts.next()?.trim().parse().ok()?;
+        Some((min, max))
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// An inclusive-exclusive element-count range for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { min: n, max: n + 1 }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    /// Generates a `Vec` of values from `element`, with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.min + rng.below(self.size.max - self.size.min);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy type behind [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Generates `true` or `false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Namespace mirror of `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+    }
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let fn_seed = $crate::test_runner::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let mut proptest_rng = $crate::test_runner::TestRng::for_case(
+                        fn_seed ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut proptest_rng);)*
+                    let dbg_inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; ",)*),
+                        $(&$arg,)*
+                    );
+                    let outcome: ::core::result::Result<(), ::std::string::String> =
+                        (move || { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(msg) = outcome {
+                        panic!("property {} failed on case {case}: {msg}\n  inputs: {dbg_inputs}",
+                               stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` inside `proptest!` bodies; reports the failing inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// `assert_eq!` inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), l, r));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return ::core::result::Result::Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// `assert_ne!` inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            ));
+        }
+    }};
+}
+
+/// Uniform choice between strategy arms yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_sample_within_bounds() {
+        let mut rng = crate::test_runner::TestRng::for_case(3);
+        for _ in 0..200 {
+            let x = (5_u32..10).sample(&mut rng);
+            assert!((5..10).contains(&x));
+            let f = (0.5_f64..2.5).sample(&mut rng);
+            assert!((0.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn collection_vec_honours_size() {
+        let mut rng = crate::test_runner::TestRng::for_case(4);
+        for _ in 0..100 {
+            let v = crate::collection::vec(0_u32..3, 2..5).sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+        let fixed = crate::collection::vec(0_u32..3, 7_usize).sample(&mut rng);
+        assert_eq!(fixed.len(), 7);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_wires_up(x in 1_u32..100, flip in prop::bool::ANY) {
+            prop_assert!(x >= 1);
+            prop_assert_eq!(u32::from(flip) * 2, if flip { 2 } else { 0 });
+        }
+
+        #[test]
+        fn oneof_and_maps_compose(v in prop_oneof![
+            (1_u32..10).prop_map(|x| x * 2),
+            (50_u32..60).prop_map(|x| x + 1),
+        ]) {
+            prop_assert!((2..20).contains(&v) || (51..61).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment for this workspace has no network access, so the
+//! real `serde` cannot be fetched from a registry. This stub reproduces the
+//! small API surface the workspace relies on — the four core traits, the
+//! `ser::Error`/`de::Error` helper traits, and the `Serialize`/`Deserialize`
+//! derive macros — so that annotated types compile unchanged. No data format
+//! ships with the workspace, so no serializer ever runs: every stubbed
+//! implementation reports an "offline stub" error if actually invoked.
+//!
+//! Swap the workspace dependency back to registry `serde` when a network is
+//! available; nothing else needs to change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization-side error support.
+pub mod ser {
+    /// The error trait serializers expose; mirrors `serde::ser::Error`.
+    pub trait Error: Sized {
+        /// Builds an error from a display-able message.
+        fn custom<T: core::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization-side error support.
+pub mod de {
+    /// The error trait deserializers expose; mirrors `serde::de::Error`.
+    pub trait Error: Sized {
+        /// Builds an error from a display-able message.
+        fn custom<T: core::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// A data structure that can be serialized (stub: always errors).
+pub trait Serialize {
+    /// Serializes `self` with the given serializer.
+    ///
+    /// # Errors
+    ///
+    /// The stub always returns an error: no data format is available offline.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A serialization format; mirrors the associated types of
+/// `serde::Serializer` that generic code names (`S::Ok`, `S::Error`).
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error type produced on failure.
+    type Error: ser::Error;
+}
+
+/// A data structure that can be deserialized (stub: always errors).
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes a value with the given deserializer.
+    ///
+    /// # Errors
+    ///
+    /// The stub always returns an error: no data format is available offline.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A deserialization format; mirrors the associated `Error` type of
+/// `serde::Deserializer` that generic code names (`D::Error`).
+pub trait Deserializer<'de>: Sized {
+    /// Error type produced on failure.
+    type Error: de::Error;
+}
+
+const STUB_MSG: &str = "serde offline stub: no data format available";
+
+macro_rules! stub_serialize {
+    ($($ty:ty),* $(,)?) => {
+        $(impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, _serializer: S) -> Result<S::Ok, S::Error> {
+                Err(<S::Error as ser::Error>::custom(STUB_MSG))
+            }
+        })*
+    };
+}
+
+stub_serialize!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, String, str);
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, _serializer: S) -> Result<S::Ok, S::Error> {
+        Err(<S::Error as ser::Error>::custom(STUB_MSG))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, _serializer: S) -> Result<S::Ok, S::Error> {
+        Err(<S::Error as ser::Error>::custom(STUB_MSG))
+    }
+}
+
+macro_rules! stub_tuple {
+    ($(($($name:ident),+)),* $(,)?) => {
+        $(
+            impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+                fn serialize<S: Serializer>(&self, _serializer: S) -> Result<S::Ok, S::Error> {
+                    Err(<S::Error as ser::Error>::custom(STUB_MSG))
+                }
+            }
+            impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+                fn deserialize<De: Deserializer<'de>>(_deserializer: De) -> Result<Self, De::Error> {
+                    Err(<De::Error as de::Error>::custom(STUB_MSG))
+                }
+            }
+        )*
+    };
+}
+
+stub_tuple!((A, B), (A, B, C), (A, B, C, Dd));
+
+macro_rules! stub_deserialize {
+    ($($ty:ty),* $(,)?) => {
+        $(impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
+                Err(<D::Error as de::Error>::custom(STUB_MSG))
+            }
+        })*
+    };
+}
+
+stub_deserialize!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, String);
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
+        Err(<D::Error as de::Error>::custom(STUB_MSG))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
+        Err(<D::Error as de::Error>::custom(STUB_MSG))
+    }
+}

@@ -1,0 +1,59 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits `Serialize`/`Deserialize` impls that compile against the offline
+//! `serde` stub. The derive accepts (and ignores) `#[serde(...)]` helper
+//! attributes so annotated types parse unchanged. Only non-generic types are
+//! supported, which covers everything in this workspace.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the type a derive is applied to: the identifier
+/// following the `struct` or `enum` keyword.
+fn type_name(input: TokenStream) -> String {
+    let mut iter = input.into_iter();
+    while let Some(tt) = iter.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                for next in iter.by_ref() {
+                    if let TokenTree::Ident(name) = next {
+                        return name.to_string();
+                    }
+                }
+            }
+        }
+    }
+    panic!("serde stub derive: input is not a struct or enum");
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize<S: ::serde::Serializer>(&self, _serializer: S)\n\
+                 -> ::core::result::Result<S::Ok, S::Error> {{\n\
+                 ::core::result::Result::Err(<S::Error as ::serde::ser::Error>::custom(\n\
+                     \"serde offline stub: no data format available\"))\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde stub derive: generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: ::serde::Deserializer<'de>>(_deserializer: D)\n\
+                 -> ::core::result::Result<Self, D::Error> {{\n\
+                 ::core::result::Result::Err(<D::Error as ::serde::de::Error>::custom(\n\
+                     \"serde offline stub: no data format available\"))\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde stub derive: generated impl parses")
+}
