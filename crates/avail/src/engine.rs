@@ -108,7 +108,13 @@ impl EvalHealth {
 /// own simplified Markov model); this trait is that plug point. All three
 /// engines in this crate implement it, so the design-search code is
 /// engine-agnostic.
-pub trait AvailabilityEngine {
+///
+/// Engines are required to be `Send + Sync`: the search layer fans
+/// candidate evaluations out across scoped threads, all sharing one
+/// `&dyn AvailabilityEngine`. Stateless engines satisfy this for free;
+/// decorators with interior state (caches, call counters) must use atomics
+/// or locks rather than `Cell`/`RefCell`.
+pub trait AvailabilityEngine: Send + Sync {
     /// Evaluates the steady-state availability of a tier.
     ///
     /// # Errors

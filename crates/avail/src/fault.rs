@@ -5,16 +5,24 @@
 //! chosen evaluations: solver non-convergence errors, NaN availability
 //! results, and artificial delays. Faults are selected **deterministically**
 //! — by the 0-based index of the `evaluate` call (which, in an uncached
-//! search, is the candidate index) or by a seeded pseudo-random schedule —
-//! so a failing search reproduces exactly.
+//! serial search, is the candidate index), by a structural predicate on the
+//! model being evaluated, or by a seeded pseudo-random schedule — so a
+//! failing search reproduces exactly.
+//!
+//! Call-index schedules are only deterministic for serial searches: a
+//! parallel search interleaves calls from several workers, so the call at
+//! index `k` lands on a nondeterministic candidate. Model-predicate faults
+//! ([`FaultInjectingEngine::with_fault_when`]) stay deterministic under any
+//! parallelism — the fault follows the model, not the schedule — which is
+//! what the parallel-determinism test suite uses.
 //!
 //! This is the harness that proves the evaluation path degrades gracefully:
 //! the fallback chain, the per-candidate isolation in the search loop, and
 //! the NaN guards in front of the Pareto frontier are all exercised through
 //! it.
 
-use std::cell::Cell;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use aved_markov::MarkovError;
@@ -63,10 +71,17 @@ pub enum InjectedFault {
 pub struct FaultInjectingEngine<'a> {
     inner: &'a dyn AvailabilityEngine,
     faults_by_call: BTreeMap<u64, InjectedFault>,
+    faults_by_model: Vec<(ModelPredicate, InjectedFault)>,
     seeded: Option<SeededFaults>,
-    calls: Cell<u64>,
-    injected: Cell<u64>,
+    // Atomics, not `Cell`s: the engine trait is `Send + Sync` so one
+    // decorator can be shared across the parallel search's workers.
+    calls: AtomicU64,
+    injected: AtomicU64,
 }
+
+/// A model-keyed fault schedule: plain `fn` so the decorator stays
+/// `Send + Sync` without bounds bookkeeping.
+type ModelPredicate = fn(&TierModel) -> bool;
 
 #[derive(Debug, Clone, Copy)]
 struct SeededFaults {
@@ -82,9 +97,10 @@ impl<'a> FaultInjectingEngine<'a> {
         FaultInjectingEngine {
             inner,
             faults_by_call: BTreeMap::new(),
+            faults_by_model: Vec::new(),
             seeded: None,
-            calls: Cell::new(0),
-            injected: Cell::new(0),
+            calls: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
         }
     }
 
@@ -93,6 +109,22 @@ impl<'a> FaultInjectingEngine<'a> {
     #[must_use]
     pub fn with_fault_at(mut self, call: u64, fault: InjectedFault) -> FaultInjectingEngine<'a> {
         self.faults_by_call.insert(call, fault);
+        self
+    }
+
+    /// Schedules `fault` for every evaluation whose model satisfies
+    /// `predicate`. Unlike call-index schedules, model-keyed faults hit the
+    /// same candidates no matter how evaluations interleave across threads
+    /// or how a cache reorders them — the deterministic choice for testing
+    /// parallel searches. Explicit [`Self::with_fault_at`] schedules take
+    /// precedence on calls matching both.
+    #[must_use]
+    pub fn with_fault_when(
+        mut self,
+        predicate: ModelPredicate,
+        fault: InjectedFault,
+    ) -> FaultInjectingEngine<'a> {
+        self.faults_by_model.push((predicate, fault));
         self
     }
 
@@ -122,18 +154,23 @@ impl<'a> FaultInjectingEngine<'a> {
     /// Number of evaluations seen so far.
     #[must_use]
     pub fn calls(&self) -> u64 {
-        self.calls.get()
+        self.calls.load(Ordering::Relaxed)
     }
 
     /// Number of faults injected so far.
     #[must_use]
     pub fn injected(&self) -> u64 {
-        self.injected.get()
+        self.injected.load(Ordering::Relaxed)
     }
 
-    fn fault_for(&self, call: u64) -> Option<InjectedFault> {
+    fn fault_for(&self, call: u64, model: &TierModel) -> Option<InjectedFault> {
         if let Some(f) = self.faults_by_call.get(&call) {
             return Some(*f);
+        }
+        for (predicate, fault) in &self.faults_by_model {
+            if predicate(model) {
+                return Some(*fault);
+            }
         }
         let seeded = self.seeded?;
         // splitmix64 of (seed ^ call): deterministic, well-mixed.
@@ -152,19 +189,19 @@ impl<'a> FaultInjectingEngine<'a> {
         match fault {
             None => self.inner.evaluate_with_health(model),
             Some(InjectedFault::Delay(d)) => {
-                self.injected.set(self.injected.get() + 1);
+                self.injected.fetch_add(1, Ordering::Relaxed);
                 std::thread::sleep(d);
                 self.inner.evaluate_with_health(model)
             }
             Some(InjectedFault::NonConvergence) => {
-                self.injected.set(self.injected.get() + 1);
+                self.injected.fetch_add(1, Ordering::Relaxed);
                 Err(AvailError::Markov(MarkovError::NoConvergence {
                     iterations: 0,
                     residual: f64::INFINITY,
                 }))
             }
             Some(InjectedFault::NanResult) => {
-                self.injected.set(self.injected.get() + 1);
+                self.injected.fetch_add(1, Ordering::Relaxed);
                 Ok((
                     TierAvailability::new_unchecked(f64::NAN, Rate::ZERO),
                     EvalHealth::default(),
@@ -183,9 +220,8 @@ impl AvailabilityEngine for FaultInjectingEngine<'_> {
         &self,
         model: &TierModel,
     ) -> Result<(TierAvailability, EvalHealth), AvailError> {
-        let call = self.calls.get();
-        self.calls.set(call + 1);
-        self.apply(self.fault_for(call), model)
+        let call = self.calls.fetch_add(1, Ordering::Relaxed);
+        self.apply(self.fault_for(call, model), model)
     }
 }
 
@@ -194,8 +230,8 @@ impl std::fmt::Debug for FaultInjectingEngine<'_> {
         f.debug_struct("FaultInjectingEngine")
             .field("faults_by_call", &self.faults_by_call)
             .field("seeded", &self.seeded)
-            .field("calls", &self.calls.get())
-            .field("injected", &self.injected.get())
+            .field("calls", &self.calls())
+            .field("injected", &self.injected())
             .finish_non_exhaustive()
     }
 }
@@ -260,6 +296,44 @@ mod tests {
         assert!(started.elapsed() >= std::time::Duration::from_millis(5));
         assert_eq!(r, inner.evaluate(&model()).unwrap());
         assert_eq!(engine.injected(), 1);
+    }
+
+    #[test]
+    fn model_predicate_faults_follow_the_model_not_the_call_order() {
+        let inner = CtmcEngine::default();
+        let engine = FaultInjectingEngine::new(&inner)
+            .with_fault_when(|m| m.n() >= 2, InjectedFault::NonConvergence);
+        let small = model();
+        let big = TierModel::new(2, 2, 0).with_class(FailureClass::new(
+            "hw",
+            Duration::from_hours(1000.0).rate(),
+            Duration::from_hours(10.0),
+            Duration::ZERO,
+            false,
+        ));
+        // Whatever order the calls come in, only the matching model fails.
+        assert!(engine.evaluate(&big).is_err());
+        assert!(engine.evaluate(&small).is_ok());
+        assert!(engine.evaluate(&big).is_err());
+        assert!(engine.evaluate(&small).is_ok());
+        assert_eq!(engine.injected(), 2);
+    }
+
+    #[test]
+    fn counters_are_shared_across_threads() {
+        let inner = CtmcEngine::default();
+        let engine = FaultInjectingEngine::new(&inner);
+        let m = model();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..8 {
+                        let _ = engine.evaluate(&m);
+                    }
+                });
+            }
+        });
+        assert_eq!(engine.calls(), 32);
     }
 
     #[test]

@@ -116,16 +116,19 @@ usage:
               (--requirement FILE | --load UNITS --max-downtime DUR |
                --max-execution-time DUR)
               [--engine ctmc|decomp|sim] [--max-spares N] [--max-extra N]
-              [--pin MECH.PARAM=VALUE]... [--explain] [--strict]
+              [--jobs N] [--pin MECH.PARAM=VALUE]... [--explain] [--strict]
   aved check  --infrastructure FILE [--service FILE]
   aved dump   --infrastructure FILE
   aved sweep  (--paper-ecommerce | --infrastructure FILE --service FILE)
               --tier NAME --load UNITS [--max-spares N] [--max-extra N]
-              [--pin MECH.PARAM=VALUE]...
+              [--jobs N] [--pin MECH.PARAM=VALUE]...
   aved export-markov --infrastructure FILE --resource NAME
               --active N --min N [--spares N] [--pin MECH.PARAM=VALUE]...
 
 durations use the spec syntax: 30s, 2m, 8h, 650d
+
+--jobs N evaluates candidates on N worker threads (default: one per
+available CPU); the selected design is identical at any worker count.
 
 --strict aborts a search on the first evaluation failure instead of
 skipping the failing candidate and reporting it in the health summary.
@@ -239,19 +242,7 @@ fn design(flags: &Flags<'_>) -> Result<(), CliError> {
             }
         };
 
-    let mut options = SearchOptions::default();
-    if let Some(v) = flags.value("--max-spares") {
-        options.max_spares = v
-            .parse()
-            .map_err(|_| CliError::usage("bad --max-spares value"))?;
-    }
-    if let Some(v) = flags.value("--max-extra") {
-        options.max_extra_active = v
-            .parse()
-            .map_err(|_| CliError::usage("bad --max-extra value"))?;
-    }
-    options.strict = flags.has("--strict");
-    parse_pins(flags, &mut options)?;
+    let options = parse_search_options(flags)?;
 
     let mut aved = Aved::new(infrastructure)
         .with_catalog(aved::scenario::catalog())
@@ -280,6 +271,7 @@ fn design(flags: &Flags<'_>) -> Result<(), CliError> {
                 println!("  {tier}");
             }
             report_health(report.health());
+            report_stats(report.health());
             if explain {
                 let text = aved::explain_design(aved.infrastructure(), &service, &report)
                     .map_err(|e| CliError::engine(&e))?;
@@ -303,6 +295,48 @@ fn report_health(health: &aved::search::SearchHealth) {
             skip.tier, skip.resource, skip.n_active, skip.n_spare, skip.error
         );
     }
+}
+
+/// Parses the search-bound flags shared by `design` and `sweep`.
+fn parse_search_options(flags: &Flags<'_>) -> Result<SearchOptions, CliError> {
+    let mut options = SearchOptions::default();
+    if let Some(v) = flags.value("--max-spares") {
+        options.max_spares = v
+            .parse()
+            .map_err(|_| CliError::usage("bad --max-spares value"))?;
+    }
+    if let Some(v) = flags.value("--max-extra") {
+        options.max_extra_active = v
+            .parse()
+            .map_err(|_| CliError::usage("bad --max-extra value"))?;
+    }
+    // The CLI defaults to one worker per CPU (jobs = 0 is the library's
+    // auto-detect marker); the library itself defaults to serial.
+    options.jobs = match flags.value("--jobs") {
+        Some(v) => v.parse().map_err(|_| CliError::usage("bad --jobs value"))?,
+        None => 0,
+    };
+    options.strict = flags.has("--strict");
+    parse_pins(flags, &mut options)?;
+    Ok(options)
+}
+
+/// One-line workload summary on stderr: worker count, cache traffic,
+/// dominance pruning, per-phase timing. Stderr so pipelines that consume
+/// the design on stdout are unaffected.
+fn report_stats(health: &aved::search::SearchHealth) {
+    eprintln!(
+        "search: {} job(s), cache {}/{} hit, {} candidate(s) pruned by cost, \
+         enumerate {:.1} ms + solve {:.1} ms + merge {:.1} ms (total {:.1} ms)",
+        health.jobs,
+        health.cache_hits,
+        health.cache_hits + health.cache_misses,
+        health.candidates_pruned,
+        health.enumeration_time.as_secs_f64() * 1e3,
+        health.solve_time.as_secs_f64() * 1e3,
+        health.merge_time.as_secs_f64() * 1e3,
+        health.wall_time.as_secs_f64() * 1e3,
+    );
 }
 
 fn parse_pins(flags: &Flags<'_>, options: &mut SearchOptions) -> Result<(), CliError> {
@@ -341,27 +375,18 @@ fn sweep(flags: &Flags<'_>) -> Result<(), CliError> {
         .ok_or_else(|| CliError::usage("missing --load UNITS"))?
         .parse()
         .map_err(|_| CliError::usage("bad --load value"))?;
-    let mut options = SearchOptions::default();
-    if let Some(v) = flags.value("--max-spares") {
-        options.max_spares = v
-            .parse()
-            .map_err(|_| CliError::usage("bad --max-spares value"))?;
-    }
-    if let Some(v) = flags.value("--max-extra") {
-        options.max_extra_active = v
-            .parse()
-            .map_err(|_| CliError::usage("bad --max-extra value"))?;
-    }
-    options.strict = flags.has("--strict");
-    parse_pins(flags, &mut options)?;
+    let options = parse_search_options(flags)?;
 
     let catalog = aved::scenario::catalog();
     let inner = DecompositionEngine::default();
     let engine = CachingEngine::new(&inner);
     let ctx = EvalContext::new(&infrastructure, &service, &catalog, &engine);
-    let (frontier, health) = tier_pareto_frontier_with_health(&ctx, tier, load, &options)
+    let (frontier, mut health) = tier_pareto_frontier_with_health(&ctx, tier, load, &options)
         .map_err(|e| CliError::engine(&e))?;
+    health.cache_hits = engine.hits();
+    health.cache_misses = engine.misses();
     report_health(&health);
+    report_stats(&health);
     if frontier.is_empty() {
         println!("no design of tier {tier} can support load {load}");
         return Ok(());

@@ -44,10 +44,11 @@ impl DesignReport {
         self.expected_job_time
     }
 
-    /// How degraded the search behind this report was: candidates skipped
+    /// How degraded the search behind this report was (candidates skipped
     /// after engine failures, solver fallbacks taken, the worst accepted
-    /// residual, wall time. A clean run has
-    /// [`SearchHealth::is_degraded`] false.
+    /// residual) and how the work got done (worker threads, model-cache
+    /// hits and misses, candidates pruned by cost dominance, per-phase
+    /// wall time). A clean run has [`SearchHealth::is_degraded`] false.
     #[must_use]
     pub fn health(&self) -> &SearchHealth {
         &self.health
@@ -160,12 +161,14 @@ impl Aved {
                 min_throughput,
                 max_annual_downtime,
             } => {
-                let (found, health) = search_service_with_health(
+                let (found, mut health) = search_service_with_health(
                     &ctx,
                     *min_throughput,
                     *max_annual_downtime,
                     &self.options,
                 )?;
+                health.cache_hits = caching.hits();
+                health.cache_misses = caching.misses();
                 Ok(found.map(|sd| DesignReport {
                     design: sd.to_design(),
                     cost: sd.cost(),
@@ -191,7 +194,9 @@ impl Aved {
                 let tier_name = service.tiers()[0].name().as_str().to_owned();
                 let outcome =
                     search_job_tier(&ctx, &tier_name, *max_execution_time, &self.options)?;
-                let health = outcome.health().clone();
+                let mut health = outcome.health().clone();
+                health.cache_hits = caching.hits();
+                health.cache_misses = caching.misses();
                 Ok(outcome.best().map(|best| DesignReport {
                     design: Design::new(vec![best.design().clone()]),
                     cost: best.cost(),
@@ -246,6 +251,34 @@ mod tests {
             "clean engines must yield a clean health report: {}",
             report.health()
         );
+        assert!(
+            report.health().cache_misses > 0,
+            "the model cache must see the search's evaluations"
+        );
+        assert_eq!(report.health().jobs, 1, "default options are serial");
+    }
+
+    #[test]
+    fn parallel_design_matches_serial() {
+        let infra = scenario::infrastructure().unwrap();
+        let service = scenario::ecommerce().unwrap();
+        let req = ServiceRequirement::enterprise(400.0, Duration::from_mins(2000.0));
+        let serial = Aved::new(infra.clone())
+            .with_catalog(scenario::catalog())
+            .with_search_options(small_options())
+            .design(&service, &req)
+            .unwrap()
+            .expect("feasible");
+        let parallel = Aved::new(infra)
+            .with_catalog(scenario::catalog())
+            .with_search_options(small_options().with_jobs(4))
+            .design(&service, &req)
+            .unwrap()
+            .expect("feasible");
+        assert_eq!(parallel.design(), serial.design());
+        assert_eq!(parallel.cost(), serial.cost());
+        assert_eq!(parallel.annual_downtime(), serial.annual_downtime());
+        assert_eq!(parallel.health().jobs, 4);
     }
 
     #[test]

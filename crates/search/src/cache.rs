@@ -1,9 +1,16 @@
 //! Memoizing wrapper around an availability engine.
 
-use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
 use aved_avail::{AvailError, AvailabilityEngine, EvalHealth, TierAvailability, TierModel};
+
+/// Number of independently-locked shards. Power of two so the shard index
+/// is a mask of the key hash; 16 is plenty for the worker counts a search
+/// realistically runs (contention is per-shard, and distinct models spread
+/// uniformly under FNV).
+const SHARDS: usize = 16;
 
 /// An [`AvailabilityEngine`] decorator that memoizes results by model.
 ///
@@ -13,6 +20,16 @@ use aved_avail::{AvailError, AvailabilityEngine, EvalHealth, TierAvailability, T
 /// candidates the Fig.-7 search enumerates map to a handful of distinct
 /// tier models. Wrapping the engine in a cache turns those re-evaluations
 /// into hash lookups.
+///
+/// The cache is sharded and lock-based, so one instance can be shared by
+/// every worker of a parallel search: keys are the structural
+/// [`TierModel::structural_hash`] (canonical `f64` bit patterns — no
+/// float-to-string formatting on the hot path, no collisions between
+/// distinct values that render alike), each shard is an independent
+/// `RwLock`, and the hit/miss counters are atomics. Two workers racing on
+/// the same cold model may both evaluate it (the result is identical and
+/// the insert idempotent); a miss is counted per inner evaluation so the
+/// counters stay truthful about work done.
 ///
 /// # Examples
 ///
@@ -38,9 +55,13 @@ use aved_avail::{AvailError, AvailabilityEngine, EvalHealth, TierAvailability, T
 /// ```
 pub struct CachingEngine<'a> {
     inner: &'a dyn AvailabilityEngine,
-    cache: RefCell<HashMap<String, (TierAvailability, EvalHealth)>>,
-    hits: RefCell<u64>,
-    misses: RefCell<u64>,
+    // Buckets hold (model, result) pairs: the structural hash picks the
+    // bucket, full model equality guards against the (astronomically
+    // unlikely, but silently-wrong-results-bad) 64-bit collision.
+    #[allow(clippy::type_complexity)]
+    shards: [RwLock<HashMap<u64, Vec<(TierModel, (TierAvailability, EvalHealth))>>>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl<'a> CachingEngine<'a> {
@@ -49,22 +70,22 @@ impl<'a> CachingEngine<'a> {
     pub fn new(inner: &'a dyn AvailabilityEngine) -> CachingEngine<'a> {
         CachingEngine {
             inner,
-            cache: RefCell::new(HashMap::new()),
-            hits: RefCell::new(0),
-            misses: RefCell::new(0),
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
         }
     }
 
     /// Number of cache hits so far.
     #[must_use]
     pub fn hits(&self) -> u64 {
-        *self.hits.borrow()
+        self.hits.load(Ordering::Relaxed)
     }
 
     /// Number of cache misses (inner evaluations) so far.
     #[must_use]
     pub fn misses(&self) -> u64 {
-        *self.misses.borrow()
+        self.misses.load(Ordering::Relaxed)
     }
 }
 
@@ -77,18 +98,23 @@ impl AvailabilityEngine for CachingEngine<'_> {
         &self,
         model: &TierModel,
     ) -> Result<(TierAvailability, EvalHealth), AvailError> {
-        // The Debug rendering is a complete, deterministic serialization of
-        // the model (all fields derive Debug), making it a sound cache key.
         // Health is cached alongside the result so fallback accounting
         // reflects what the solve would have cost, hit or miss.
-        let key = format!("{model:?}");
-        if let Some(hit) = self.cache.borrow().get(&key) {
-            *self.hits.borrow_mut() += 1;
-            return Ok(*hit);
+        let key = model.structural_hash();
+        let shard = &self.shards[(key as usize) & (SHARDS - 1)];
+        if let Some(bucket) = shard.read().expect("cache shard poisoned").get(&key) {
+            if let Some((_, cached)) = bucket.iter().find(|(m, _)| m == model) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(*cached);
+            }
         }
         let result = self.inner.evaluate_with_health(model)?;
-        *self.misses.borrow_mut() += 1;
-        self.cache.borrow_mut().insert(key, result);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut shard = shard.write().expect("cache shard poisoned");
+        let bucket = shard.entry(key).or_default();
+        if !bucket.iter().any(|(m, _)| m == model) {
+            bucket.push((model.clone(), result));
+        }
         Ok(result)
     }
 }
@@ -138,5 +164,76 @@ mod tests {
         let bad = TierModel::new(1, 1, 0); // no classes
         assert!(engine.evaluate(&bad).is_err());
         assert_eq!(engine.misses(), 0);
+    }
+
+    #[test]
+    fn float_keys_use_bit_patterns_not_formatting() {
+        // Regression for the formatted-string key: two MTTRs one ULP apart
+        // can render identically ("trailing zeros" truncated) yet are
+        // different models; conversely -0.0 and 0.0 render differently yet
+        // are the same model. Structural keys get both right.
+        let inner = CtmcEngine::default();
+        let engine = CachingEngine::new(&inner);
+        let with_mttr = |hours: f64| {
+            TierModel::new(1, 1, 0).with_class(FailureClass::new(
+                "hw",
+                Duration::from_hours(100.0).rate(),
+                Duration::from_hours(hours),
+                Duration::ZERO,
+                false,
+            ))
+        };
+        let a = with_mttr(1.0);
+        let b = with_mttr(f64::from_bits(1.0_f64.to_bits() + 1));
+        assert_ne!(a, b, "one ULP apart is a different model");
+        let _ = engine.evaluate(&a).unwrap();
+        let _ = engine.evaluate(&b).unwrap();
+        assert_eq!(engine.misses(), 2, "distinct models must not collide");
+        assert_eq!(engine.hits(), 0);
+    }
+
+    #[test]
+    fn negative_zero_hits_the_positive_zero_entry() {
+        let inner = CtmcEngine::default();
+        let engine = CachingEngine::new(&inner);
+        let with_failover = |secs: f64| {
+            TierModel::new(2, 2, 1).with_class(FailureClass::new(
+                "hw",
+                Duration::from_hours(100.0).rate(),
+                Duration::from_hours(1.0),
+                Duration::from_secs(secs),
+                false,
+            ))
+        };
+        let pos = with_failover(0.0);
+        let neg = with_failover(-0.0);
+        assert_eq!(pos, neg, "numerically the same model");
+        let a = engine.evaluate(&pos).unwrap();
+        let b = engine.evaluate(&neg).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(engine.misses(), 1);
+        assert_eq!(engine.hits(), 1, "-0.0 must reuse the 0.0 entry");
+    }
+
+    #[test]
+    fn concurrent_lookups_share_one_cache() {
+        let inner = CtmcEngine::default();
+        let engine = CachingEngine::new(&inner);
+        let models: Vec<TierModel> = (1..=4).map(model).collect();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for m in &models {
+                        let _ = engine.evaluate(m).unwrap();
+                    }
+                });
+            }
+        });
+        // 16 evaluations of 4 distinct models: at least one evaluation per
+        // model is a miss; racing threads may double-compute a cold model,
+        // but hits + misses always equals total calls.
+        assert_eq!(engine.hits() + engine.misses(), 16);
+        assert!(engine.misses() >= 4);
+        assert!(engine.hits() >= 16 - 2 * 4, "most lookups should hit");
     }
 }

@@ -27,12 +27,23 @@ pub struct SearchOptions {
     /// search instead of skipping the candidate and recording the skip in
     /// the search's `SearchHealth` report.
     pub strict: bool,
+    /// Worker threads for candidate evaluation. `0` means auto-detect from
+    /// the machine's available parallelism; the library default is `1`
+    /// (serial) so results and engine call orders stay deterministic unless
+    /// the caller opts in. The selected design is identical at any value.
+    pub jobs: usize,
+    /// Cost-dominance pruning: skip evaluating candidates that already cost
+    /// strictly more than a known-feasible design. On by default; pruning
+    /// never changes the selected design, only the work done (see
+    /// `SearchStats::pruned_by_cost`). Disable to force exhaustive
+    /// evaluation, e.g. when auditing the pruning itself.
+    pub prune: bool,
 }
 
 impl Default for SearchOptions {
     /// Up to 8 extra actives, up to 3 spares, fully-inactive spares (the
     /// restriction the paper's application-tier example makes), nothing
-    /// pinned.
+    /// pinned, serial evaluation, pruning on.
     fn default() -> SearchOptions {
         SearchOptions {
             max_extra_active: 8,
@@ -40,6 +51,8 @@ impl Default for SearchOptions {
             spare_modes: vec![SpareMode::AllInactive],
             pins: Vec::new(),
             strict: false,
+            jobs: 1,
+            prune: true,
         }
     }
 }
@@ -59,6 +72,21 @@ impl SearchOptions {
     #[must_use]
     pub fn with_strict(mut self) -> SearchOptions {
         self.strict = true;
+        self
+    }
+
+    /// Evaluates candidates on `jobs` worker threads (`0` = auto-detect).
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> SearchOptions {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Disables cost-dominance pruning, forcing every candidate to be
+    /// evaluated.
+    #[must_use]
+    pub fn without_pruning(mut self) -> SearchOptions {
+        self.prune = false;
         self
     }
 

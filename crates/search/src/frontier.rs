@@ -1,10 +1,19 @@
 //! Cost/quality Pareto frontiers — the data behind the paper's Figs. 6–8.
+//!
+//! Unlike the guided tier search, a frontier sweep must evaluate *every*
+//! candidate (each one might be a frontier point), so no cost pruning
+//! applies — but the evaluations are independent, which makes the sweep the
+//! best-parallelizing entry point: candidates are enumerated serially,
+//! evaluated across [`SearchOptions::jobs`] workers, and folded back in
+//! enumeration order, so the frontier is identical at any worker count.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 use aved_units::Duration;
 
 use crate::health::isolate_candidate;
+use crate::parallel::{effective_jobs, parallel_map};
 use crate::{
     enumerate_tier_candidates, evaluate_enterprise_design, evaluate_job_design, EvalContext,
     EvaluatedDesign, SearchError, SearchHealth, SearchOptions,
@@ -48,8 +57,13 @@ pub fn tier_pareto_frontier_with_health(
 ) -> Result<(Vec<EvaluatedDesign>, SearchHealth), SearchError> {
     let started = Instant::now();
     let tier = ctx.tier(tier_name)?;
-    let mut health = SearchHealth::default();
-    let mut all: Vec<EvaluatedDesign> = Vec::new();
+    let jobs = effective_jobs(options.jobs);
+    let mut health = SearchHealth {
+        jobs,
+        ..SearchHealth::default()
+    };
+
+    let mut items: Vec<(&aved_model::ResourceOption, aved_model::TierDesign)> = Vec::new();
     for option in tier.options() {
         let perf = ctx.catalog().resolve_perf(option.performance())?;
         let Some(min_perf) = perf.min_active_for(load) else {
@@ -59,27 +73,50 @@ pub fn tier_pareto_frontier_with_health(
             continue;
         };
         for n_total in start_active..=start_active + options.max_extra_active + options.max_spares {
-            for td in enumerate_tier_candidates(
-                ctx.infrastructure(),
-                tier.name(),
-                option,
-                n_total,
-                start_active,
-                options,
-            ) {
-                if let Some(e) = isolate_candidate(
-                    evaluate_enterprise_design(ctx, option, &td, load),
-                    options.strict,
-                    &mut health,
-                    &td,
-                )? {
-                    all.push(e);
-                }
-            }
+            items.extend(
+                enumerate_tier_candidates(
+                    ctx.infrastructure(),
+                    tier.name(),
+                    option,
+                    n_total,
+                    start_active,
+                    options,
+                )
+                .into_iter()
+                .map(|td| (option, td)),
+            );
         }
     }
+    health.enumeration_time = started.elapsed();
+
+    let solving = Instant::now();
+    let abort = AtomicBool::new(false);
+    let outcomes = parallel_map(jobs, &items, |_, (option, td)| {
+        if abort.load(Ordering::Relaxed) {
+            return None;
+        }
+        let result = evaluate_enterprise_design(ctx, option, td, load);
+        if let Err(e) = &result {
+            if options.strict || !e.is_candidate_scoped() {
+                abort.store(true, Ordering::Relaxed);
+            }
+        }
+        Some(result)
+    });
+    health.solve_time = solving.elapsed();
+
+    let merging = Instant::now();
+    let mut all: Vec<EvaluatedDesign> = Vec::new();
+    for ((_, td), outcome) in items.iter().zip(outcomes) {
+        let Some(result) = outcome else { continue };
+        if let Some(e) = isolate_candidate(result, options.strict, &mut health, td)? {
+            all.push(e);
+        }
+    }
+    let frontier = pareto_by(all, |e| e.annual_downtime());
+    health.merge_time = merging.elapsed();
     health.wall_time = started.elapsed();
-    Ok((pareto_by(all, |e| e.annual_downtime()), health))
+    Ok((frontier, health))
 }
 
 /// Computes the cost/completion-time Pareto frontier of a finite-job tier
@@ -117,42 +154,67 @@ pub fn job_frontier_with_health(
 ) -> Result<(Vec<EvaluatedDesign>, SearchHealth), SearchError> {
     let started = Instant::now();
     let tier = ctx.tier(tier_name)?;
-    let mut health = SearchHealth::default();
-    let mut all: Vec<EvaluatedDesign> = Vec::new();
+    let jobs = effective_jobs(options.jobs);
+    let mut health = SearchHealth {
+        jobs,
+        ..SearchHealth::default()
+    };
+
+    let mut items: Vec<(&aved_model::ResourceOption, aved_model::TierDesign)> = Vec::new();
     for option in tier.options() {
         for &n_total in totals {
             if n_total == 0 {
                 continue;
             }
-            for td in enumerate_tier_candidates(
-                ctx.infrastructure(),
-                tier.name(),
-                option,
-                n_total,
-                1,
-                options,
-            ) {
-                if let Some(e) = isolate_candidate(
-                    evaluate_job_design(ctx, option, &td),
-                    options.strict,
-                    &mut health,
-                    &td,
-                )? {
-                    all.push(e);
-                }
-            }
+            items.extend(
+                enumerate_tier_candidates(
+                    ctx.infrastructure(),
+                    tier.name(),
+                    option,
+                    n_total,
+                    1,
+                    options,
+                )
+                .into_iter()
+                .map(|td| (option, td)),
+            );
         }
     }
-    health.wall_time = started.elapsed();
+    health.enumeration_time = started.elapsed();
+
+    let solving = Instant::now();
+    let abort = AtomicBool::new(false);
+    let outcomes = parallel_map(jobs, &items, |_, (option, td)| {
+        if abort.load(Ordering::Relaxed) {
+            return None;
+        }
+        let result = evaluate_job_design(ctx, option, td);
+        if let Err(e) = &result {
+            if options.strict || !e.is_candidate_scoped() {
+                abort.store(true, Ordering::Relaxed);
+            }
+        }
+        Some(result)
+    });
+    health.solve_time = solving.elapsed();
+
+    let merging = Instant::now();
+    let mut all: Vec<EvaluatedDesign> = Vec::new();
+    for ((_, td), outcome) in items.iter().zip(outcomes) {
+        let Some(result) = outcome else { continue };
+        if let Some(e) = isolate_candidate(result, options.strict, &mut health, td)? {
+            all.push(e);
+        }
+    }
     // Job evaluations always carry a completion time; should one ever
     // not, ranking it last keeps it off the frontier.
-    Ok((
-        pareto_by(all, |e| {
-            e.expected_job_time()
-                .unwrap_or(Duration::from_secs(f64::INFINITY))
-        }),
-        health,
-    ))
+    let frontier = pareto_by(all, |e| {
+        e.expected_job_time()
+            .unwrap_or(Duration::from_secs(f64::INFINITY))
+    });
+    health.merge_time = merging.elapsed();
+    health.wall_time = started.elapsed();
+    Ok((frontier, health))
 }
 
 /// Keeps the Pareto-optimal designs under (cost, quality) where smaller is

@@ -42,11 +42,13 @@ impl SkippedCandidate {
 
 /// How degraded a search run was: candidates skipped after evaluation
 /// failures, solver fallbacks taken, the worst accepted balance residual,
-/// and the wall-clock time spent.
+/// and how the work got done — worker count, cache traffic, candidates
+/// pruned by cost dominance, and per-phase wall-clock time.
 ///
-/// Equality ignores [`wall_time`](SearchHealth::wall_time): two runs that
-/// made the same decisions are equal even though timing is never
-/// reproducible.
+/// Equality ignores the timing and workload fields (`wall_time`, the phase
+/// times, `jobs`, cache and pruning counters): two runs that made the same
+/// decisions are equal even though timing — and, under parallel pruning,
+/// the exact amount of work avoided — is never reproducible.
 #[derive(Debug, Clone, Default)]
 pub struct SearchHealth {
     /// Candidates dropped because their evaluation failed.
@@ -58,6 +60,25 @@ pub struct SearchHealth {
     pub worst_residual: Option<f64>,
     /// Wall-clock time the search took.
     pub wall_time: std::time::Duration,
+    /// Candidates skipped without evaluation because they already cost more
+    /// than a known-feasible design. Varies with scheduling under parallel
+    /// runs; the selected design does not.
+    pub candidates_pruned: u64,
+    /// Model-cache hits during the search, when the caller wired a
+    /// `CachingEngine` in and reported its counters.
+    pub cache_hits: u64,
+    /// Model-cache misses (inner engine evaluations), when reported.
+    pub cache_misses: u64,
+    /// Worker threads the search actually used (after resolving `jobs = 0`
+    /// to the machine's parallelism). Zero when the entry point predates
+    /// the parallel executor.
+    pub jobs: usize,
+    /// Wall-clock time spent enumerating candidates.
+    pub enumeration_time: std::time::Duration,
+    /// Wall-clock time spent evaluating candidates (the parallel phase).
+    pub solve_time: std::time::Duration,
+    /// Wall-clock time spent merging results and selecting designs.
+    pub merge_time: std::time::Duration,
 }
 
 impl PartialEq for SearchHealth {
@@ -92,7 +113,8 @@ impl SearchHealth {
     }
 
     /// Folds another search's health into this one (used when a service
-    /// search aggregates its per-tier frontier sweeps). Wall times add.
+    /// search aggregates its per-tier frontier sweeps). Wall and phase
+    /// times add, counters add, the worker count keeps the maximum.
     pub fn merge(&mut self, other: SearchHealth) {
         self.skipped.extend(other.skipped);
         self.fallbacks_taken += other.fallbacks_taken;
@@ -101,6 +123,13 @@ impl SearchHealth {
             (a, b) => a.or(b),
         };
         self.wall_time += other.wall_time;
+        self.candidates_pruned += other.candidates_pruned;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.jobs = self.jobs.max(other.jobs);
+        self.enumeration_time += other.enumeration_time;
+        self.solve_time += other.solve_time;
+        self.merge_time += other.merge_time;
     }
 
     /// Records a candidate skipped because `error` occurred.
@@ -119,6 +148,20 @@ impl std::fmt::Display for SearchHealth {
         )?;
         if let Some(r) = self.worst_residual {
             write!(f, ", worst residual {r:.2e}")?;
+        }
+        if self.candidates_pruned > 0 {
+            write!(f, ", {} pruned by cost", self.candidates_pruned)?;
+        }
+        if self.cache_hits + self.cache_misses > 0 {
+            write!(
+                f,
+                ", cache {}/{} hit",
+                self.cache_hits,
+                self.cache_hits + self.cache_misses
+            )?;
+        }
+        if self.jobs > 0 {
+            write!(f, ", {} job(s)", self.jobs)?;
         }
         write!(f, ", {:.1} ms", self.wall_time.as_secs_f64() * 1e3)
     }
@@ -192,23 +235,45 @@ mod tests {
 
     #[test]
     fn merge_combines_every_field() {
+        let ms = std::time::Duration::from_millis;
         let mut a = SearchHealth {
             skipped: skip(1),
             fallbacks_taken: 1,
             worst_residual: Some(1e-12),
-            wall_time: std::time::Duration::from_millis(5),
+            wall_time: ms(5),
+            candidates_pruned: 10,
+            cache_hits: 100,
+            cache_misses: 4,
+            jobs: 4,
+            enumeration_time: ms(1),
+            solve_time: ms(3),
+            merge_time: ms(1),
         };
         let b = SearchHealth {
             skipped: skip(2),
             fallbacks_taken: 3,
             worst_residual: Some(1e-10),
-            wall_time: std::time::Duration::from_millis(7),
+            wall_time: ms(7),
+            candidates_pruned: 5,
+            cache_hits: 50,
+            cache_misses: 6,
+            jobs: 2,
+            enumeration_time: ms(2),
+            solve_time: ms(4),
+            merge_time: ms(1),
         };
         a.merge(b);
         assert_eq!(a.candidates_skipped(), 3);
         assert_eq!(a.fallbacks_taken, 4);
         assert_eq!(a.worst_residual, Some(1e-10));
-        assert_eq!(a.wall_time, std::time::Duration::from_millis(12));
+        assert_eq!(a.wall_time, ms(12));
+        assert_eq!(a.candidates_pruned, 15);
+        assert_eq!(a.cache_hits, 150);
+        assert_eq!(a.cache_misses, 10);
+        assert_eq!(a.jobs, 4, "worker count keeps the maximum");
+        assert_eq!(a.enumeration_time, ms(3));
+        assert_eq!(a.solve_time, ms(7));
+        assert_eq!(a.merge_time, ms(2));
     }
 
     #[test]
@@ -218,10 +283,38 @@ mod tests {
             fallbacks_taken: 2,
             worst_residual: Some(1.5e-11),
             wall_time: std::time::Duration::from_millis(3),
+            candidates_pruned: 7,
+            cache_hits: 9,
+            cache_misses: 3,
+            jobs: 4,
+            ..SearchHealth::default()
         };
         let s = h.to_string();
         assert!(s.contains("1 candidate(s) skipped"), "{s}");
         assert!(s.contains("2 solver fallback(s)"), "{s}");
         assert!(s.contains("1.50e-11"), "{s}");
+        assert!(s.contains("7 pruned by cost"), "{s}");
+        assert!(s.contains("cache 9/12 hit"), "{s}");
+        assert!(s.contains("4 job(s)"), "{s}");
+    }
+
+    #[test]
+    fn equality_ignores_timing_and_workload_fields() {
+        let a = SearchHealth {
+            skipped: skip(1),
+            fallbacks_taken: 2,
+            worst_residual: Some(1e-12),
+            ..SearchHealth::default()
+        };
+        let b = SearchHealth {
+            wall_time: std::time::Duration::from_millis(99),
+            candidates_pruned: 42,
+            cache_hits: 7,
+            cache_misses: 9,
+            jobs: 8,
+            solve_time: std::time::Duration::from_millis(50),
+            ..a.clone()
+        };
+        assert_eq!(a, b, "same decisions, different workload: still equal");
     }
 }

@@ -26,6 +26,13 @@
 //! run ([`SearchOptions::strict`] restores fail-fast), and every entry
 //! point reports a [`SearchHealth`] saying how degraded the run was —
 //! candidates skipped, solver fallbacks taken, worst accepted residual.
+//!
+//! Searches are also parallel: candidate evaluations fan out across scoped
+//! threads ([`SearchOptions::with_jobs`], `0` = auto-detect), sharing one
+//! [`CachingEngine`] and a dominance-pruning best-cost cell, with results
+//! merged in candidate order so the selected design is bit-identical to the
+//! serial walk at any worker count (see the [`parallel`](parallel_map)
+//! module docs for the argument).
 
 mod cache;
 mod candidate;
@@ -35,6 +42,7 @@ mod evaluate;
 mod frontier;
 mod health;
 mod multi_tier;
+mod parallel;
 mod sensitivity;
 #[cfg(test)]
 mod test_fixtures;
@@ -50,5 +58,6 @@ pub use frontier::{
 };
 pub use health::{SearchHealth, SkippedCandidate};
 pub use multi_tier::{search_service, search_service_with_health, ServiceDesign};
+pub use parallel::{effective_jobs, parallel_map};
 pub use sensitivity::{mtbf_sensitivity, scale_mtbfs, SensitivityRow};
 pub use tier_search::{search_job_tier, search_tier, SearchOutcome, SearchStats};

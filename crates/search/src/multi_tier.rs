@@ -6,6 +6,7 @@ use aved_avail::combine_series;
 use aved_model::Design;
 use aved_units::{Duration, Money};
 
+use crate::parallel::{effective_jobs, parallel_map, BestCost};
 use crate::{
     tier_pareto_frontier_with_health, EvalContext, EvaluatedDesign, SearchError, SearchHealth,
     SearchOptions,
@@ -57,42 +58,66 @@ fn compose(tiers: &[EvaluatedDesign]) -> (Money, Duration) {
 const EXACT_COMPOSITION_LIMIT: usize = 250_000;
 
 /// Exhaustive minimum-cost composition over the frontier cross product.
+///
+/// The flat index range is split into one contiguous chunk per worker;
+/// each chunk scans ascending with a local best and a shared [`BestCost`]
+/// cell pruning strictly-more-expensive compositions, and the chunk optima
+/// merge by `(cost, flat index)` — the same "cheapest, earliest" winner the
+/// serial ascending scan selects, at any worker count.
 fn compose_exact(
     frontiers: &[Vec<EvaluatedDesign>],
     max_downtime: Duration,
+    jobs: usize,
 ) -> Option<ServiceDesign> {
     let sizes: Vec<usize> = frontiers.iter().map(Vec::len).collect();
     let total: usize = sizes.iter().product();
-    let mut best: Option<(Money, Vec<usize>)> = None;
-    for flat in 0..total {
-        let mut rem = flat;
-        let mut cost = Money::ZERO;
-        let mut availability = 1.0;
-        let mut index = Vec::with_capacity(frontiers.len());
-        for (f, &size) in frontiers.iter().zip(&sizes) {
-            let i = rem % size;
-            rem /= size;
-            index.push(i);
-            cost += f[i].cost();
-            availability *= f[i].availability().availability();
-        }
-        // Prune on cost before the (cheap) downtime check for readability
-        // only — both are O(tiers).
-        if let Some((best_cost, _)) = &best {
-            if cost >= *best_cost {
+    let best_cost = BestCost::new();
+    let chunk = total.div_ceil(jobs.max(1)).max(1);
+    let ranges: Vec<std::ops::Range<usize>> = (0..total)
+        .step_by(chunk)
+        .map(|start| start..(start + chunk).min(total))
+        .collect();
+    let per_chunk = parallel_map(jobs, &ranges, |_, range| {
+        let mut local: Option<(Money, usize)> = None;
+        for flat in range.clone() {
+            let mut rem = flat;
+            let mut cost = Money::ZERO;
+            let mut availability = 1.0;
+            for (f, &size) in frontiers.iter().zip(&sizes) {
+                let i = rem % size;
+                rem /= size;
+                cost += f[i].cost();
+                availability *= f[i].availability().availability();
+            }
+            // Only strictly cheaper compositions displace a known feasible
+            // one; equal-cost ones stay recorded locally so the merge can
+            // fall back to the smallest flat index, exactly like the
+            // serial ascending scan.
+            if local.is_some_and(|(c, _)| cost >= c) || best_cost.beats(cost) {
                 continue;
             }
+            let downtime = Duration::from_mins((1.0 - availability) * aved_units::MINUTES_PER_YEAR);
+            if downtime <= max_downtime {
+                best_cost.offer(cost);
+                local = Some((cost, flat));
+            }
         }
-        let downtime = Duration::from_mins((1.0 - availability) * aved_units::MINUTES_PER_YEAR);
-        if downtime <= max_downtime {
-            best = Some((cost, index));
-        }
-    }
-    best.map(|(_, index)| {
-        let tiers: Vec<EvaluatedDesign> = index
+        local
+    });
+    let best = per_chunk
+        .into_iter()
+        .flatten()
+        .min_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    best.map(|(_, flat)| {
+        let mut rem = flat;
+        let tiers: Vec<EvaluatedDesign> = frontiers
             .iter()
-            .zip(frontiers.iter())
-            .map(|(&i, f)| f[i].clone())
+            .zip(&sizes)
+            .map(|(f, &size)| {
+                let i = rem % size;
+                rem /= size;
+                f[i].clone()
+            })
             .collect();
         let (cost, annual_downtime) = compose(&tiers);
         ServiceDesign {
@@ -148,7 +173,11 @@ pub fn search_service_with_health(
     options: &SearchOptions,
 ) -> Result<(Option<ServiceDesign>, SearchHealth), SearchError> {
     let started = Instant::now();
-    let mut health = SearchHealth::default();
+    let jobs = effective_jobs(options.jobs);
+    let mut health = SearchHealth {
+        jobs,
+        ..SearchHealth::default()
+    };
     let tier_names: Vec<String> = ctx
         .service()
         .tiers()
@@ -173,7 +202,9 @@ pub fn search_service_with_health(
     // the scalable fallback.
     let product: usize = frontiers.iter().map(Vec::len).product();
     if product <= EXACT_COMPOSITION_LIMIT {
-        let found = compose_exact(&frontiers, max_downtime);
+        let composing = Instant::now();
+        let found = compose_exact(&frontiers, max_downtime, jobs);
+        health.merge_time += composing.elapsed();
         health.wall_time = started.elapsed();
         return Ok((found, health));
     }
@@ -313,6 +344,26 @@ mod tests {
         assert_eq!(found.to_design(), baseline.to_design());
         assert_eq!(health.candidates_skipped(), 1);
         assert_eq!(faulty.injected(), 1);
+    }
+
+    #[test]
+    fn parallel_service_search_matches_serial() {
+        let fx = app_tier_fixture();
+        let inner = DecompositionEngine::default();
+        let engine = CachingEngine::new(&inner);
+        let ctx = fx.context(&engine);
+        let budget = Duration::from_mins(800.0);
+        let serial = search_service(&ctx, 400.0, budget, &small_opts())
+            .unwrap()
+            .unwrap();
+        for jobs in [2, 8] {
+            let parallel = search_service(&ctx, 400.0, budget, &small_opts().with_jobs(jobs))
+                .unwrap()
+                .unwrap();
+            assert_eq!(parallel.cost(), serial.cost(), "jobs={jobs}");
+            assert_eq!(parallel.to_design(), serial.to_design(), "jobs={jobs}");
+            assert_eq!(parallel.annual_downtime(), serial.annual_downtime());
+        }
     }
 
     #[test]

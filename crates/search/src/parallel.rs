@@ -1,0 +1,208 @@
+//! The scoped-thread executor behind the parallel search.
+//!
+//! The design space factors into independent candidate evaluations, so the
+//! search is embarrassingly parallel — the only care is keeping the result
+//! *bit-identical* to the serial walk. The contract here:
+//!
+//! * [`parallel_map`] evaluates a slice of work items on up to `jobs`
+//!   workers (plain `std::thread::scope`, no external runtime). Workers
+//!   pull item indices from a shared atomic counter — a degenerate but
+//!   effective form of work stealing that keeps all workers busy even when
+//!   per-item cost varies by orders of magnitude — and the results are
+//!   merged back **in item order**, so callers fold them exactly as the
+//!   serial loop would have.
+//! * With `jobs <= 1` the map degenerates to an in-order sequential loop on
+//!   the calling thread: the serial path is literally the parallel path at
+//!   width 1, not a separate implementation that could drift.
+//! * [`BestCost`] is the shared dominance-pruning cell: the cheapest
+//!   *feasible* cost any worker has proven, stored as ordered `f64` bits in
+//!   an `AtomicU64` so workers can skip solving candidates that already
+//!   cost more. Pruning with it never changes the winner — only candidates
+//!   strictly more expensive than a known-feasible design are skipped, and
+//!   such candidates can never win a minimum-cost search.
+//!
+//! Determinism argument, in one paragraph: every decision the search makes
+//! (winner selection, tie-breaking, level termination, degradation
+//! patience) happens in the *fold* over results ordered by candidate index
+//! — identical to the serial order. Worker scheduling only affects *which*
+//! over-budget candidates get pruned versus evaluated, and those candidates
+//! are decision-irrelevant by the dominance argument above. Engine
+//! evaluations themselves are pure functions of the model, so a result is
+//! the same no matter which thread computes it.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use aved_units::Money;
+
+/// Resolves a requested worker count: `0` means "use the machine's
+/// available parallelism" (the `--jobs` CLI default), anything else is
+/// taken literally.
+#[must_use]
+pub fn effective_jobs(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+}
+
+/// Maps `f` over `items` on up to `jobs` scoped threads, returning results
+/// in item order.
+///
+/// `f` receives `(index, &item)` and must be pure up to interior-mutable
+/// shared state it synchronizes itself (the engine cache, [`BestCost`]).
+/// With `jobs <= 1` or a single item, `f` runs sequentially in order on the
+/// calling thread.
+///
+/// # Panics
+///
+/// Propagates panics from worker threads.
+pub fn parallel_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = jobs.min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let per_worker: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        local.push((i, f(i, item)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("search worker panicked"))
+            .collect()
+    });
+    // Deterministic merge: scatter back into item order.
+    let mut out: Vec<Option<R>> = items.iter().map(|_| None).collect();
+    for (i, r) in per_worker.into_iter().flatten() {
+        out[i] = Some(r);
+    }
+    out.into_iter()
+        .map(|r| r.expect("every index is claimed exactly once"))
+        .collect()
+}
+
+/// The cheapest known-feasible cost, shared across search workers for
+/// dominance pruning.
+///
+/// Costs are non-negative finite `f64`s, for which the IEEE-754 bit
+/// pattern orders identically to the value — so a single `AtomicU64` with
+/// `fetch_min` gives a lock-free monotonically-decreasing cost cell.
+/// Empty is encoded as `+inf` (every real cost beats it).
+#[derive(Debug)]
+pub(crate) struct BestCost(AtomicU64);
+
+impl BestCost {
+    /// An empty cell: nothing feasible known yet, nothing is pruned.
+    pub(crate) fn new() -> BestCost {
+        BestCost(AtomicU64::new(f64::INFINITY.to_bits()))
+    }
+
+    /// Records a feasible design's cost; keeps the minimum.
+    pub(crate) fn offer(&self, cost: Money) {
+        debug_assert!(cost.dollars() >= 0.0, "costs are non-negative");
+        self.0
+            .fetch_min(cost.dollars().to_bits(), Ordering::Relaxed);
+    }
+
+    /// `true` when a feasible design strictly cheaper than `cost` is known
+    /// — i.e. `cost` can be pruned without evaluation. Equal-cost
+    /// candidates are *not* beaten: they still compete on quality.
+    pub(crate) fn beats(&self, cost: Money) -> bool {
+        f64::from_bits(self.0.load(Ordering::Relaxed)) < cost.dollars()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_jobs_resolves_zero_to_at_least_one() {
+        assert!(effective_jobs(0) >= 1);
+        assert_eq!(effective_jobs(1), 1);
+        assert_eq!(effective_jobs(7), 7);
+    }
+
+    #[test]
+    fn map_preserves_item_order_at_any_width() {
+        let items: Vec<u64> = (0..103).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for jobs in [1, 2, 3, 8, 200] {
+            assert_eq!(parallel_map(jobs, &items, |_, x| x * x), expect, "{jobs}");
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(8, &empty, |_, x| *x).is_empty());
+        assert_eq!(parallel_map(8, &[41_u32], |_, x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn map_passes_the_item_index() {
+        let items = ["a", "b", "c"];
+        let got = parallel_map(2, &items, |i, s| format!("{i}{s}"));
+        assert_eq!(got, vec!["0a", "1b", "2c"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "search worker panicked")]
+    fn worker_panics_propagate() {
+        let items: Vec<u32> = (0..64).collect();
+        let _ = parallel_map(4, &items, |_, x| {
+            assert!(*x != 13, "boom");
+            *x
+        });
+    }
+
+    #[test]
+    fn best_cost_starts_empty_and_keeps_the_minimum() {
+        let cell = BestCost::new();
+        let m = Money::from_dollars;
+        assert!(!cell.beats(m(1e12)), "empty cell prunes nothing");
+        cell.offer(m(100.0));
+        cell.offer(m(250.0)); // worse offer is ignored
+        assert!(cell.beats(m(100.01)));
+        assert!(!cell.beats(m(100.0)), "equal cost still competes");
+        assert!(!cell.beats(m(99.9)));
+        cell.offer(m(50.0));
+        assert!(cell.beats(m(50.5)));
+    }
+
+    #[test]
+    fn best_cost_is_consistent_under_concurrent_offers() {
+        let cell = BestCost::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let cell = &cell;
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        cell.offer(Money::from_dollars(f64::from(i % 97 + t * 3 + 10)));
+                    }
+                });
+            }
+        });
+        assert!(cell.beats(Money::from_dollars(10.001)));
+        assert!(!cell.beats(Money::from_dollars(10.0)));
+    }
+}

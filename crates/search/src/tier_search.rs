@@ -1,14 +1,42 @@
 //! The per-tier search algorithm of paper §4.1.
+//!
+//! Each resource-count level is evaluated as a batch: candidates are
+//! enumerated and cost-sorted serially (cheap), fanned out across
+//! [`SearchOptions::jobs`] scoped threads for the expensive availability
+//! evaluations, then folded back **in candidate order** to select the
+//! winner — so the selected design is identical at any worker count. A
+//! shared [`BestCost`] cell lets workers skip candidates that already cost
+//! strictly more than a known-feasible design (dominance pruning; see
+//! [`crate::parallel`](crate::parallel_map) for why neither changes the
+//! result).
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
 use aved_units::Duration;
 
 use crate::health::isolate_candidate;
+use crate::parallel::{effective_jobs, parallel_map, BestCost};
 use crate::{
     enumerate_tier_candidates, evaluate_enterprise_design, evaluate_job_design, EvalContext,
     EvaluatedDesign, SearchError, SearchHealth, SearchOptions,
 };
+
+/// What happened to one candidate of a level batch, in the worker.
+///
+/// The fold over these (in candidate order) makes every search decision;
+/// workers only evaluate and classify.
+enum CandidateOutcome {
+    /// Skipped without evaluation: a known-feasible design is strictly
+    /// cheaper, so this candidate cannot win.
+    Pruned,
+    /// Skipped because a worker already hit a fatal error; the fold will
+    /// surface that error, so this candidate's fate is irrelevant.
+    Aborted,
+    /// Evaluated (successfully or not); the fold applies the isolation
+    /// policy and the win/tie rules.
+    Evaluated(Result<Option<EvaluatedDesign>, SearchError>),
+}
 
 /// Counters describing how much work a search did — the basis of the
 /// pruning-effectiveness ablation.
@@ -104,6 +132,9 @@ const DEGRADE_PATIENCE: usize = 2;
 /// [`SearchOptions::strict`] is set, in which case the first failure
 /// aborts the search.
 ///
+/// Candidate evaluations run on [`SearchOptions::jobs`] worker threads;
+/// the selected design is identical at any worker count.
+///
 /// # Errors
 ///
 /// Returns [`SearchError`] for unknown tiers, or for evaluation failures
@@ -117,9 +148,16 @@ pub fn search_tier(
 ) -> Result<SearchOutcome, SearchError> {
     let started = Instant::now();
     let tier = ctx.tier(tier_name)?;
+    let jobs = effective_jobs(options.jobs);
     let mut stats = SearchStats::default();
-    let mut health = SearchHealth::default();
+    let mut health = SearchHealth {
+        jobs,
+        ..SearchHealth::default()
+    };
     let mut best: Option<EvaluatedDesign> = None;
+    // The cheapest feasible cost any worker has proven, across the whole
+    // search; mirrors `best.cost()` but is shared lock-free with workers.
+    let best_cost = BestCost::new();
 
     for option in tier.options() {
         let perf = ctx.catalog().resolve_perf(option.performance())?;
@@ -134,6 +172,7 @@ pub fn search_tier(
         let mut best_quality_prev: Option<Duration> = None;
         let mut degrading = 0_usize;
         for n_total in start_active..=max_total {
+            let enumerating = Instant::now();
             let candidates = enumerate_tier_candidates(
                 ctx.infrastructure(),
                 tier.name(),
@@ -143,6 +182,7 @@ pub fn search_tier(
                 options,
             );
             if candidates.is_empty() {
+                health.enumeration_time += enumerating.elapsed();
                 continue;
             }
             stats.totals_explored += 1;
@@ -157,6 +197,7 @@ pub fn search_tier(
                 })
                 .collect::<Result<_, _>>()?;
             costed.sort_by(|a, b| a.0.total_cmp(&b.0));
+            health.enumeration_time += enumerating.elapsed();
 
             // Termination: every candidate at this count (and, since cost
             // grows with the count, at later counts) costs more than the
@@ -167,24 +208,48 @@ pub fn search_tier(
                 }
             }
 
+            // Fan the level out: workers prune against the shared cell
+            // (strictly more expensive candidates cannot win; equal cost
+            // still competes on downtime), evaluate the rest, and publish
+            // feasible costs so other workers prune harder.
+            let solving = Instant::now();
+            let abort = AtomicBool::new(false);
+            let outcomes = parallel_map(jobs, &costed, |_, &(cost, td)| {
+                if abort.load(Ordering::Relaxed) {
+                    return CandidateOutcome::Aborted;
+                }
+                if options.prune && best_cost.beats(cost) {
+                    return CandidateOutcome::Pruned;
+                }
+                let result = evaluate_enterprise_design(ctx, option, td, load);
+                match &result {
+                    Ok(Some(e)) if e.annual_downtime() <= max_downtime => {
+                        best_cost.offer(e.cost());
+                    }
+                    Err(e) if options.strict || !e.is_candidate_scoped() => {
+                        abort.store(true, Ordering::Relaxed);
+                    }
+                    _ => {}
+                }
+                CandidateOutcome::Evaluated(result)
+            });
+            health.solve_time += solving.elapsed();
+
+            // Deterministic merge: every decision happens here, folding
+            // outcomes in candidate (cost-sorted) order.
+            let merging = Instant::now();
             let mut best_quality_here: Option<Duration> = None;
-            for (cost, td) in costed {
-                if let Some(b) = &best {
-                    // Strictly more expensive candidates cannot win; equal
-                    // cost still competes on downtime (tie-breaking keeps
-                    // the search deterministic and quality-optimal within
-                    // the winning cost).
-                    if cost > b.cost() {
+            for ((_, td), outcome) in costed.iter().zip(outcomes) {
+                let result = match outcome {
+                    CandidateOutcome::Aborted => continue,
+                    CandidateOutcome::Pruned => {
                         stats.pruned_by_cost += 1;
+                        health.candidates_pruned += 1;
                         continue;
                     }
-                }
-                let Some(evaluated) = isolate_candidate(
-                    evaluate_enterprise_design(ctx, option, td, load),
-                    options.strict,
-                    &mut health,
-                    td,
-                )?
+                    CandidateOutcome::Evaluated(result) => result,
+                };
+                let Some(evaluated) = isolate_candidate(result, options.strict, &mut health, td)?
                 else {
                     continue;
                 };
@@ -204,7 +269,9 @@ pub fn search_tier(
             }
 
             // Infeasibility detection: adding resources no longer improves
-            // the best achievable downtime.
+            // the best achievable downtime. (Pruning cannot distort this:
+            // while `best` is none nothing feasible has been offered, so
+            // nothing has been pruned and the quality fold is exhaustive.)
             if best.is_none() {
                 match (best_quality_prev, best_quality_here) {
                     (Some(prev), Some(here)) if here >= prev => degrading += 1,
@@ -212,12 +279,14 @@ pub fn search_tier(
                     _ => {}
                 }
                 if degrading >= DEGRADE_PATIENCE {
+                    health.merge_time += merging.elapsed();
                     break;
                 }
             }
             if let Some(q) = best_quality_here {
                 best_quality_prev = Some(q);
             }
+            health.merge_time += merging.elapsed();
         }
     }
 
@@ -256,9 +325,14 @@ pub fn search_job_tier(
         .ok_or_else(|| SearchError::RequirementMismatch {
             detail: "service declares no jobsize".into(),
         })?;
+    let jobs = effective_jobs(options.jobs);
     let mut stats = SearchStats::default();
-    let mut health = SearchHealth::default();
+    let mut health = SearchHealth {
+        jobs,
+        ..SearchHealth::default()
+    };
     let mut best: Option<EvaluatedDesign> = None;
+    let best_cost = BestCost::new();
 
     for option in tier.options() {
         let perf = ctx.catalog().resolve_perf(option.performance())?;
@@ -287,6 +361,7 @@ pub fn search_job_tier(
         let mut best_quality_prev: Option<Duration> = None;
         let mut degrading = 0_usize;
         for n_total in start_active..=max_total {
+            let enumerating = Instant::now();
             let candidates = enumerate_tier_candidates(
                 ctx.infrastructure(),
                 tier.name(),
@@ -296,6 +371,7 @@ pub fn search_job_tier(
                 options,
             );
             if candidates.is_empty() {
+                health.enumeration_time += enumerating.elapsed();
                 continue;
             }
             stats.totals_explored += 1;
@@ -307,6 +383,7 @@ pub fn search_job_tier(
                 })
                 .collect::<Result<_, _>>()?;
             costed.sort_by(|a, b| a.0.total_cmp(&b.0));
+            health.enumeration_time += enumerating.elapsed();
 
             if let Some(b) = &best {
                 if costed.first().is_some_and(|(c, _)| *c > b.cost()) {
@@ -314,24 +391,50 @@ pub fn search_job_tier(
                 }
             }
 
+            // Equal-cost candidates still compete on completion time:
+            // checkpoint settings are free, and Fig. 7 reports the
+            // quality-optimal interval within the winning configuration —
+            // which is why the cell prunes only *strictly* more expensive
+            // candidates.
+            let solving = Instant::now();
+            let abort = AtomicBool::new(false);
+            let outcomes = parallel_map(jobs, &costed, |_, &(cost, td)| {
+                if abort.load(Ordering::Relaxed) {
+                    return CandidateOutcome::Aborted;
+                }
+                if options.prune && best_cost.beats(cost) {
+                    return CandidateOutcome::Pruned;
+                }
+                let result = evaluate_job_design(ctx, option, td);
+                match &result {
+                    Ok(Some(e))
+                        if e.expected_job_time()
+                            .is_some_and(|t| t <= max_execution_time) =>
+                    {
+                        best_cost.offer(e.cost());
+                    }
+                    Err(e) if options.strict || !e.is_candidate_scoped() => {
+                        abort.store(true, Ordering::Relaxed);
+                    }
+                    _ => {}
+                }
+                CandidateOutcome::Evaluated(result)
+            });
+            health.solve_time += solving.elapsed();
+
+            let merging = Instant::now();
             let mut best_quality_here: Option<Duration> = None;
-            for (cost, td) in costed {
-                if let Some(b) = &best {
-                    // Equal-cost candidates still compete on completion
-                    // time: checkpoint settings are free, and Fig. 7 reports
-                    // the quality-optimal interval within the winning
-                    // configuration.
-                    if cost > b.cost() {
+            for ((_, td), outcome) in costed.iter().zip(outcomes) {
+                let result = match outcome {
+                    CandidateOutcome::Aborted => continue,
+                    CandidateOutcome::Pruned => {
                         stats.pruned_by_cost += 1;
+                        health.candidates_pruned += 1;
                         continue;
                     }
-                }
-                let Some(evaluated) = isolate_candidate(
-                    evaluate_job_design(ctx, option, td),
-                    options.strict,
-                    &mut health,
-                    td,
-                )?
+                    CandidateOutcome::Evaluated(result) => result,
+                };
+                let Some(evaluated) = isolate_candidate(result, options.strict, &mut health, td)?
                 else {
                     continue;
                 };
@@ -366,12 +469,14 @@ pub fn search_job_tier(
                     _ => {}
                 }
                 if degrading >= DEGRADE_PATIENCE {
+                    health.merge_time += merging.elapsed();
                     break;
                 }
             }
             if let Some(q) = best_quality_here {
                 best_quality_prev = Some(q);
             }
+            health.merge_time += merging.elapsed();
         }
     }
 
@@ -686,6 +791,84 @@ mod tests {
         .unwrap_err();
         assert!(matches!(err, SearchError::Avail(_)), "{err}");
         assert_eq!(faulty.calls(), 1, "no candidate after the failing one");
+    }
+
+    #[test]
+    fn pruning_toggle_never_changes_the_winner() {
+        let fx = app_tier_fixture();
+        let engine = DecompositionEngine::default();
+        let ctx = fx.context(&engine);
+        let load = 800.0;
+        let budget = Duration::from_mins(500.0);
+        let pruned = search_tier(&ctx, "application", load, budget, &opts()).unwrap();
+        let exhaustive =
+            search_tier(&ctx, "application", load, budget, &opts().without_pruning()).unwrap();
+        let (p, e) = (pruned.best().unwrap(), exhaustive.best().unwrap());
+        assert_eq!(p.cost(), e.cost());
+        assert_eq!(p.design(), e.design());
+        assert_eq!(p.annual_downtime(), e.annual_downtime());
+        assert!(pruned.stats().pruned_by_cost > 0);
+        assert_eq!(
+            pruned.health().candidates_pruned,
+            u64::try_from(pruned.stats().pruned_by_cost).unwrap(),
+            "health mirrors the stats counter"
+        );
+        assert_eq!(exhaustive.stats().pruned_by_cost, 0);
+        assert_eq!(exhaustive.health().candidates_pruned, 0);
+        assert!(
+            exhaustive.stats().quality_evaluations > pruned.stats().quality_evaluations,
+            "pruning must actually save evaluations"
+        );
+    }
+
+    #[test]
+    fn parallel_search_matches_serial_winner() {
+        let fx = app_tier_fixture();
+        let engine = DecompositionEngine::default();
+        let ctx = fx.context(&engine);
+        let serial = search_tier(
+            &ctx,
+            "application",
+            800.0,
+            Duration::from_mins(500.0),
+            &opts(),
+        )
+        .unwrap();
+        for jobs in [2, 8] {
+            let parallel = search_tier(
+                &ctx,
+                "application",
+                800.0,
+                Duration::from_mins(500.0),
+                &opts().with_jobs(jobs),
+            )
+            .unwrap();
+            let (s, p) = (serial.best().unwrap(), parallel.best().unwrap());
+            assert_eq!(s.cost(), p.cost(), "jobs={jobs}");
+            assert_eq!(s.design(), p.design(), "jobs={jobs}");
+            assert_eq!(s.annual_downtime(), p.annual_downtime(), "jobs={jobs}");
+            assert_eq!(parallel.health().jobs, jobs);
+        }
+    }
+
+    #[test]
+    fn search_reports_phase_times_and_jobs() {
+        let fx = app_tier_fixture();
+        let engine = DecompositionEngine::default();
+        let ctx = fx.context(&engine);
+        let out = search_tier(
+            &ctx,
+            "application",
+            400.0,
+            Duration::from_mins(10_000.0),
+            &opts(),
+        )
+        .unwrap();
+        let h = out.health();
+        assert_eq!(h.jobs, 1, "library default is serial");
+        assert!(h.solve_time > std::time::Duration::ZERO);
+        assert!(h.solve_time <= h.wall_time);
+        assert!(h.enumeration_time + h.solve_time + h.merge_time <= h.wall_time);
     }
 
     #[test]
