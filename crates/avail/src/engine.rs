@@ -3,7 +3,7 @@
 use aved_units::{Duration, Rate, MINUTES_PER_YEAR};
 use serde::{Deserialize, Serialize};
 
-use crate::{AvailError, TierModel};
+use crate::{AvailError, EvalSession, TierModel};
 
 /// The result of evaluating one tier's availability.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -136,6 +136,29 @@ pub trait AvailabilityEngine: Send + Sync {
         model: &TierModel,
     ) -> Result<(TierAvailability, EvalHealth), AvailError> {
         self.evaluate(model).map(|r| (r, EvalHealth::default()))
+    }
+
+    /// Evaluates the tier using a caller-owned [`EvalSession`] that carries
+    /// reusable solver scratch, cached chain structures, and warm-start
+    /// state between calls.
+    ///
+    /// The default implementation ignores the session and delegates to
+    /// [`evaluate_with_health`](Self::evaluate_with_health), so engines
+    /// without per-call reusable state (the simulator, the fault injector)
+    /// stay correct for free; engines with solver state override it. Each
+    /// session must only be used from one thread at a time — the engine
+    /// itself stays `Send + Sync` because all mutation lives in the
+    /// session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AvailError`] for inconsistent models or solver failures.
+    fn evaluate_with_session(
+        &self,
+        model: &TierModel,
+        _session: &mut EvalSession,
+    ) -> Result<(TierAvailability, EvalHealth), AvailError> {
+        self.evaluate_with_health(model)
     }
 }
 

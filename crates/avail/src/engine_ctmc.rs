@@ -1,10 +1,14 @@
 //! The reference engine: a truncated multi-class CTMC with failover
 //! transients.
 
-use aved_markov::{explore, Explored, FallbackSolver};
+use aved_markov::{explore, Explored, FallbackSolver, SolveScratch};
 use aved_units::Rate;
 
-use crate::{AvailError, AvailabilityEngine, EvalHealth, TierAvailability, TierModel};
+use crate::session::{CachedChain, ChainKey};
+use crate::{
+    AvailError, AvailabilityEngine, EvalHealth, EvalSession, SessionStats, TierAvailability,
+    TierModel,
+};
 
 /// State of the tier CTMC: failed-resource count per failure class, plus an
 /// optional in-progress failover (the class that triggered it).
@@ -125,6 +129,23 @@ impl CtmcEngine {
         self.max_concurrent
     }
 
+    /// Sets the state count below which the solver prefers the dense direct
+    /// solve (exact, hint-free) over the iterative chain. Defaults to 3000,
+    /// which covers every chain the tier models produce — lowering it (e.g.
+    /// to 0) forces the iterative, warm-startable path and is how the
+    /// `solver_warm` bench exposes warm-start iteration savings.
+    #[must_use]
+    pub fn with_dense_cutover(mut self, dense_cutover: usize) -> CtmcEngine {
+        self.dense_cutover = dense_cutover;
+        self
+    }
+
+    /// The dense-preferred state-count cutover.
+    #[must_use]
+    pub fn dense_cutover(&self) -> usize {
+        self.dense_cutover
+    }
+
     /// Which explored states count as service-down (exposed for the
     /// mission-time analyses).
     pub(crate) fn down_mask(&self, model: &TierModel, explored: &Explored<St>) -> Vec<bool> {
@@ -133,6 +154,71 @@ impl CtmcEngine {
             .iter()
             .map(|st| is_down(model, st))
             .collect()
+    }
+
+    /// The transition rules of the tier chain: successors of `st` with
+    /// their rates, in a deterministic rule order. Shared between the
+    /// initial exploration and the rate-only in-place rebuild
+    /// ([`Explored::repatch`]) so both see the exact same rule sequence.
+    ///
+    /// Every emitted rate is positive (failure rates, MTTRs and failover
+    /// times are validated positive, and the resource-count factors gate
+    /// the rule), so the chain's sparsity structure is a function of the
+    /// model's *shape* only — the invariant [`ChainKey`] relies on.
+    fn successor_rates(&self, model: &TierModel, cap: u32, st: &St) -> Vec<(f64, St)> {
+        let mut out: Vec<(f64, St)> = Vec::new();
+        let v = view(model, st);
+        let failed_total: u32 = st.failed.iter().map(|&k| u32::from(k)).sum();
+
+        // Failures (only below the truncation cap).
+        if failed_total < cap {
+            for (i, class) in model.classes().iter().enumerate() {
+                let lambda = class.rate().per_hour_value();
+                // Active-resource failures.
+                let active_rate = f64::from(v.working) * lambda;
+                if active_rate > 0.0 {
+                    let mut next = st.clone();
+                    next.failed[i] += 1;
+                    if st.failover.is_none()
+                        && class.uses_failover()
+                        && v.backfill_available
+                        && v.working - 1 < model.m()
+                    {
+                        next.failover = Some(i as u8);
+                    }
+                    out.push((active_rate, next));
+                }
+                // Hot-spare failures (no transient: losing an idle spare
+                // never interrupts service by itself).
+                if model.spares_exposed() {
+                    let spare_rate = f64::from(v.free_spares) * lambda;
+                    if spare_rate > 0.0 {
+                        let mut next = st.clone();
+                        next.failed[i] += 1;
+                        out.push((spare_rate, next));
+                    }
+                }
+            }
+        }
+
+        // Repairs: each failed resource repairs independently.
+        for (i, class) in model.classes().iter().enumerate() {
+            if st.failed[i] > 0 {
+                let mu = 1.0 / class.mttr().hours();
+                let mut next = st.clone();
+                next.failed[i] -= 1;
+                out.push((f64::from(st.failed[i]) * mu, next));
+            }
+        }
+
+        // Failover completion.
+        if let Some(fo) = st.failover {
+            let class = &model.classes()[fo as usize];
+            let mut next = st.clone();
+            next.failover = None;
+            out.push((1.0 / class.failover_time().hours(), next));
+        }
+        out
     }
 
     /// Builds and explores the tier chain (exposed for tests and the
@@ -145,98 +231,60 @@ impl CtmcEngine {
             failover: None,
         };
         let explored = explore(initial, 2_000_000, |st: &St| {
-            let mut out: Vec<(f64, St)> = Vec::new();
-            let v = view(model, st);
-            let failed_total: u32 = st.failed.iter().map(|&k| u32::from(k)).sum();
-
-            // Failures (only below the truncation cap).
-            if failed_total < cap {
-                for (i, class) in model.classes().iter().enumerate() {
-                    let lambda = class.rate().per_hour_value();
-                    // Active-resource failures.
-                    let active_rate = f64::from(v.working) * lambda;
-                    if active_rate > 0.0 {
-                        let mut next = st.clone();
-                        next.failed[i] += 1;
-                        if st.failover.is_none()
-                            && class.uses_failover()
-                            && v.backfill_available
-                            && v.working - 1 < model.m()
-                        {
-                            next.failover = Some(i as u8);
-                        }
-                        out.push((active_rate, next));
-                    }
-                    // Hot-spare failures (no transient: losing an idle spare
-                    // never interrupts service by itself).
-                    if model.spares_exposed() {
-                        let spare_rate = f64::from(v.free_spares) * lambda;
-                        if spare_rate > 0.0 {
-                            let mut next = st.clone();
-                            next.failed[i] += 1;
-                            out.push((spare_rate, next));
-                        }
-                    }
-                }
-            }
-
-            // Repairs: each failed resource repairs independently.
-            for (i, class) in model.classes().iter().enumerate() {
-                if st.failed[i] > 0 {
-                    let mu = 1.0 / class.mttr().hours();
-                    let mut next = st.clone();
-                    next.failed[i] -= 1;
-                    out.push((f64::from(st.failed[i]) * mu, next));
-                }
-            }
-
-            // Failover completion.
-            if let Some(fo) = st.failover {
-                let class = &model.classes()[fo as usize];
-                let mut next = st.clone();
-                next.failover = None;
-                out.push((1.0 / class.failover_time().hours(), next));
-            }
-            out
+            self.successor_rates(model, cap, st)
         })?;
         Ok(explored)
     }
-}
 
-impl Default for CtmcEngine {
-    fn default() -> CtmcEngine {
-        CtmcEngine::new()
-    }
-}
-
-impl AvailabilityEngine for CtmcEngine {
-    fn evaluate(&self, model: &TierModel) -> Result<TierAvailability, AvailError> {
-        self.evaluate_with_health(model).map(|(r, _)| r)
-    }
-
-    fn evaluate_with_health(
+    /// Solves a prepared chain (explored + down mask, possibly carrying a
+    /// previous π of the same shape) and folds the solve into the result
+    /// and the session counters. The single code path behind both the cold
+    /// and the warm-started evaluations.
+    fn evaluate_chain(
         &self,
-        model: &TierModel,
+        cached: &mut CachedChain,
+        session_scratch: &mut SolveScratch,
+        stats: &mut SessionStats,
     ) -> Result<(TierAvailability, EvalHealth), AvailError> {
-        model.check()?;
-        let explored = self.explore_chain(model)?;
-        let ctmc = explored.ctmc();
+        let ctmc = cached.explored.ctmc();
         // Resilient solve: dense first below the cutover (exact and fastest
         // there), Gauss-Seidel -> power -> dense above it; every accepted
         // solution passes an independent `‖πQ‖∞ <= 1e-9` residual check.
-        let solver = FallbackSolver::default().with_dense_preferred_below(self.dense_cutover + 1);
-        let (pi, diagnostics) = solver.solve_with_diagnostics(ctmc);
+        let hint = if cached.pi.len() == ctmc.n_states() {
+            Some(cached.pi.as_slice())
+        } else {
+            None
+        };
+        // A hint exists exactly when this structure already produced an
+        // accepted solve (repatching only changes rates), so the iterative
+        // stages can skip re-verifying strong connectivity.
+        let solver = FallbackSolver::default()
+            .with_dense_preferred_below(self.dense_cutover + 1)
+            .with_irreducibility_assumed(hint.is_some());
+        let (pi, diagnostics) = solver.solve_warm(ctmc, hint, session_scratch);
         let pi = pi?;
+
+        stats.solves += 1;
+        if diagnostics.warm_hint_used {
+            stats.warm_hits += 1;
+        }
+        let iterations = diagnostics.total_iterations();
+        stats.iterations += iterations;
+        if diagnostics.warm_start_consumed() {
+            stats.warm_consumed += 1;
+            if let Some(cold) = cached.cold_iterations {
+                stats.iterations_saved += cold.saturating_sub(iterations);
+            }
+        } else if !diagnostics.warm_hint_used && cached.cold_iterations.is_none() {
+            cached.cold_iterations = Some(iterations);
+        }
+
         let health = EvalHealth {
             fallbacks: u32::try_from(diagnostics.fallbacks_taken()).unwrap_or(u32::MAX),
             worst_residual: diagnostics.accepted_residual(),
         };
 
-        let down: Vec<bool> = explored
-            .states()
-            .iter()
-            .map(|st| is_down(model, st))
-            .collect();
+        let down = &cached.down;
         let unavailability: f64 = pi
             .iter()
             .zip(down.iter())
@@ -261,10 +309,90 @@ impl AvailabilityEngine for CtmcEngine {
                 ),
             });
         }
+        cached.pi = pi;
         Ok((
             TierAvailability::new(unavailability.clamp(0.0, 1.0), Rate::per_hour(event_rate)),
             health,
         ))
+    }
+}
+
+impl Default for CtmcEngine {
+    fn default() -> CtmcEngine {
+        CtmcEngine::new()
+    }
+}
+
+impl AvailabilityEngine for CtmcEngine {
+    fn evaluate(&self, model: &TierModel) -> Result<TierAvailability, AvailError> {
+        self.evaluate_with_health(model).map(|(r, _)| r)
+    }
+
+    fn evaluate_with_health(
+        &self,
+        model: &TierModel,
+    ) -> Result<(TierAvailability, EvalHealth), AvailError> {
+        // One-shot evaluation is the session path with a throwaway session:
+        // the first solve of a fresh session is cold by construction, so
+        // the result is bit-identical to the historical direct path.
+        let mut session = EvalSession::new();
+        self.evaluate_with_session(model, &mut session)
+    }
+
+    fn evaluate_with_session(
+        &self,
+        model: &TierModel,
+        session: &mut EvalSession,
+    ) -> Result<(TierAvailability, EvalHealth), AvailError> {
+        model.check()?;
+        let cap = self.max_concurrent.min(model.n_total());
+        let EvalSession {
+            scratch,
+            chains,
+            stats,
+        } = session;
+
+        let Some(key) = ChainKey::for_model(model, cap) else {
+            // Shape too wide for a key (>64 classes): evaluate uncached but
+            // still through the shared solve path and scratch arena.
+            let explored = self.explore_chain(model)?;
+            let down = self.down_mask(model, &explored);
+            let mut local = CachedChain {
+                explored,
+                down,
+                pi: Vec::new(),
+                cold_iterations: None,
+            };
+            return self.evaluate_chain(&mut local, scratch, stats);
+        };
+
+        // Same shape seen before: patch the cached chain's rates in place
+        // instead of re-exploring. `repatch` verifies the structure exactly
+        // and leaves the chain untouched on any mismatch, so a (practically
+        // impossible) key collision falls back to a full re-explore below.
+        let repatched = match chains.get_mut(&key) {
+            Some(cached) => cached
+                .explored
+                .repatch(|st| self.successor_rates(model, cap, st)),
+            None => false,
+        };
+        if repatched {
+            stats.rebuilds_avoided += 1;
+        } else {
+            let explored = self.explore_chain(model)?;
+            let down = self.down_mask(model, &explored);
+            chains.insert(
+                key.clone(),
+                CachedChain {
+                    explored,
+                    down,
+                    pi: Vec::new(),
+                    cold_iterations: None,
+                },
+            );
+        }
+        let cached = chains.get_mut(&key).expect("entry inserted above");
+        self.evaluate_chain(cached, scratch, stats)
     }
 }
 
@@ -488,5 +616,113 @@ mod tests {
         let large = e.explore_chain(&mk(400)).unwrap().n_states();
         assert_eq!(small, large);
         assert!(large < 50, "truncated chain should stay tiny, got {large}");
+    }
+
+    /// A Fig.-7-style rate sweep: same structure, different MTBF/MTTR per
+    /// step, which is exactly the neighborhood the repatch + warm-start
+    /// machinery targets.
+    fn rate_sweep(step: u32) -> TierModel {
+        let mtbf_days = 400.0 + 50.0 * f64::from(step);
+        let mttr_hours = 48.0 - 4.0 * f64::from(step);
+        TierModel::new(3, 3, 1)
+            .with_class(FailureClass::new(
+                "hw/hard",
+                Duration::from_days(mtbf_days).rate(),
+                Duration::from_hours(mttr_hours),
+                Duration::from_mins(5.0),
+                true,
+            ))
+            .with_class(simple_class(60.0 * 24.0, 0.07 + 0.01 * f64::from(step)))
+    }
+
+    #[test]
+    fn session_evaluation_is_bit_identical_to_one_shot() {
+        // With the default dense-first solver, warm state must not perturb
+        // anything: the session path has to reproduce the one-shot result
+        // bit for bit at every step of the sweep, regardless of what the
+        // session accumulated from earlier (different-rate) models.
+        let engine = CtmcEngine::default();
+        let mut session = EvalSession::new();
+        for step in 0..6 {
+            let model = rate_sweep(step);
+            let (one_shot, health_cold) = engine.evaluate_with_health(&model).unwrap();
+            let (warm, health_warm) = engine.evaluate_with_session(&model, &mut session).unwrap();
+            assert_eq!(
+                warm.unavailability().to_bits(),
+                one_shot.unavailability().to_bits(),
+                "step {step}"
+            );
+            assert_eq!(
+                warm.down_event_rate().per_hour_value().to_bits(),
+                one_shot.down_event_rate().per_hour_value().to_bits(),
+                "step {step}"
+            );
+            assert_eq!(health_warm.fallbacks, health_cold.fallbacks);
+        }
+        // All six models share one structural shape: one exploration, five
+        // in-place rebuilds, every later solve warm-hinted.
+        assert_eq!(session.cached_chains(), 1);
+        assert_eq!(session.stats().solves, 6);
+        assert_eq!(session.stats().rebuilds_avoided, 5);
+        assert_eq!(session.stats().warm_hits, 5);
+    }
+
+    #[test]
+    fn session_agrees_with_one_shot_on_the_iterative_path() {
+        // Force the warm-startable iterative solvers (dense cutover 0) and
+        // check the warm results stay within the residual-gate tolerance of
+        // the cold ones while actually consuming the warm starts.
+        let engine = CtmcEngine::default().with_dense_cutover(0);
+        let mut session = EvalSession::new();
+        for step in 0..6 {
+            let model = rate_sweep(step);
+            let cold = engine.evaluate_with_health(&model).unwrap().0;
+            let warm = engine
+                .evaluate_with_session(&model, &mut session)
+                .unwrap()
+                .0;
+            assert!(
+                (warm.unavailability() - cold.unavailability()).abs() < 1e-9,
+                "step {step}: warm {} vs cold {}",
+                warm.unavailability(),
+                cold.unavailability()
+            );
+        }
+        assert_eq!(session.stats().warm_consumed, 5);
+        assert!(
+            session.stats().iterations_saved > 0,
+            "warm starts should shave sweeps off the cold baseline: {:?}",
+            session.stats()
+        );
+    }
+
+    #[test]
+    fn session_survives_structural_changes() {
+        // Interleave two different shapes: each keeps its own cached chain
+        // and warm state, and results still match the one-shot path.
+        let engine = CtmcEngine::default();
+        let mut session = EvalSession::new();
+        for step in 0..4 {
+            let narrow = rate_sweep(step);
+            let wide =
+                TierModel::new(4, 2, 0).with_class(simple_class(500.0 + f64::from(step), 5.0));
+            for model in [&narrow, &wide] {
+                let one_shot = engine.evaluate_with_health(model).unwrap().0;
+                let warm = engine.evaluate_with_session(model, &mut session).unwrap().0;
+                assert_eq!(
+                    warm.unavailability().to_bits(),
+                    one_shot.unavailability().to_bits()
+                );
+            }
+        }
+        assert_eq!(session.cached_chains(), 2);
+        assert_eq!(session.stats().rebuilds_avoided, 6);
+    }
+
+    #[test]
+    fn dense_cutover_builder_round_trips() {
+        let e = CtmcEngine::default().with_dense_cutover(17);
+        assert_eq!(e.dense_cutover(), 17);
+        assert_eq!(CtmcEngine::default().dense_cutover(), 3000);
     }
 }

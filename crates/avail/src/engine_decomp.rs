@@ -2,7 +2,10 @@
 
 use aved_units::Rate;
 
-use crate::{AvailError, AvailabilityEngine, CtmcEngine, EvalHealth, TierAvailability, TierModel};
+use crate::{
+    AvailError, AvailabilityEngine, CtmcEngine, EvalHealth, EvalSession, TierAvailability,
+    TierModel,
+};
 
 /// Fast approximate engine: evaluates each failure class in isolation
 /// (the other classes assumed failure-free) and sums the per-class
@@ -112,15 +115,28 @@ impl AvailabilityEngine for DecompositionEngine {
         &self,
         model: &TierModel,
     ) -> Result<(TierAvailability, EvalHealth), AvailError> {
+        let mut session = EvalSession::new();
+        self.evaluate_with_session(model, &mut session)
+    }
+
+    fn evaluate_with_session(
+        &self,
+        model: &TierModel,
+        session: &mut EvalSession,
+    ) -> Result<(TierAvailability, EvalHealth), AvailError> {
         model.check()?;
         let mut unavailability = 0.0;
         let mut event_rate = Rate::ZERO;
         let mut health = EvalHealth::default();
+        // The per-class chains share one structural shape whenever their
+        // failover flags agree, so within a single evaluation the session
+        // repatches one cached chain from class to class and warm-starts
+        // each solve from the previous class's distribution.
         for class in model.classes() {
             let single = TierModel::new(model.n(), model.m(), model.s())
                 .with_exposed_spares(model.spares_exposed())
                 .with_class(class.clone());
-            let (r, class_health) = self.inner.evaluate_with_health(&single)?;
+            let (r, class_health) = self.inner.evaluate_with_session(&single, session)?;
             health.absorb(class_health);
             unavailability += r.unavailability();
             event_rate += r.down_event_rate();
@@ -205,6 +221,35 @@ mod tests {
         assert!(DecompositionEngine::default()
             .evaluate(&TierModel::new(2, 3, 0).with_class(class("a", 1.0, 1.0)))
             .is_err());
+    }
+
+    #[test]
+    fn session_path_is_bit_identical_and_shares_chains_across_classes() {
+        use crate::EvalSession;
+        // Four same-shape classes: the session should explore once and
+        // repatch for every subsequent class, across repeated evaluations.
+        let model = TierModel::new(5, 5, 0)
+            .with_class(class("machineA/hard", 650.0, 38.0 * 60.0))
+            .with_class(class("machineA/soft", 75.0, 4.5))
+            .with_class(class("linux/soft", 60.0, 4.0))
+            .with_class(class("app/soft", 60.0, 2.0));
+        let engine = DecompositionEngine::default();
+        let mut session = EvalSession::new();
+        let (one_shot, _) = engine.evaluate_with_health(&model).unwrap();
+        for _ in 0..3 {
+            let (warm, _) = engine.evaluate_with_session(&model, &mut session).unwrap();
+            assert_eq!(
+                warm.unavailability().to_bits(),
+                one_shot.unavailability().to_bits()
+            );
+            assert_eq!(
+                warm.down_event_rate().per_hour_value().to_bits(),
+                one_shot.down_event_rate().per_hour_value().to_bits()
+            );
+        }
+        assert_eq!(session.cached_chains(), 1, "all classes share one shape");
+        assert_eq!(session.stats().solves, 12);
+        assert_eq!(session.stats().rebuilds_avoided, 11);
     }
 
     #[test]

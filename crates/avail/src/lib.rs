@@ -23,6 +23,12 @@
 //! [`derive_tier_model`] builds the model from `aved-model` types, and
 //! [`combine_series`] composes tiers in series (the service is up iff all
 //! tiers are up).
+//!
+//! For sweeps over many neighboring models, [`EvalSession`] carries
+//! reusable solver scratch, structurally-cached chains (rebuilt in place
+//! when only rates change) and warm-start state between
+//! [`AvailabilityEngine::evaluate_with_session`] calls; [`SessionStats`]
+//! reports how much work that avoided.
 
 mod derive;
 mod engine;
@@ -34,6 +40,7 @@ mod export;
 mod fault;
 mod mission;
 mod service;
+mod session;
 mod shared;
 mod tier_model;
 
@@ -46,5 +53,6 @@ pub use error::AvailError;
 pub use export::{export_parameters, export_sharpe_markov};
 pub use fault::{FaultInjectingEngine, InjectedFault};
 pub use service::{combine_series, ServiceAvailability};
+pub use session::{EvalSession, SessionStats};
 pub use shared::SharedSubsystem;
 pub use tier_model::{FailureClass, TierModel};

@@ -322,16 +322,21 @@ fn parse_search_options(flags: &Flags<'_>) -> Result<SearchOptions, CliError> {
 }
 
 /// One-line workload summary on stderr: worker count, cache traffic,
-/// dominance pruning, per-phase timing. Stderr so pipelines that consume
-/// the design on stdout are unaffected.
+/// dominance pruning, warm-start effectiveness, per-phase timing. Stderr
+/// so pipelines that consume the design on stdout are unaffected.
 fn report_stats(health: &aved::search::SearchHealth) {
     eprintln!(
         "search: {} job(s), cache {}/{} hit, {} candidate(s) pruned by cost, \
+         warm {}/{} hit, {} rebuild(s) avoided, {} iteration(s) saved, \
          enumerate {:.1} ms + solve {:.1} ms + merge {:.1} ms (total {:.1} ms)",
         health.jobs,
         health.cache_hits,
         health.cache_hits + health.cache_misses,
         health.candidates_pruned,
+        health.warm_hits,
+        health.warm_solves,
+        health.chain_rebuilds_avoided,
+        health.iterations_saved,
         health.enumeration_time.as_secs_f64() * 1e3,
         health.solve_time.as_secs_f64() * 1e3,
         health.merge_time.as_secs_f64() * 1e3,

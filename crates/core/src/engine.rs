@@ -278,7 +278,11 @@ mod tests {
         assert_eq!(parallel.design(), serial.design());
         assert_eq!(parallel.cost(), serial.cost());
         assert_eq!(parallel.annual_downtime(), serial.annual_downtime());
-        assert_eq!(parallel.health().jobs, 4);
+        assert_eq!(
+            parallel.health().jobs,
+            aved_search::effective_jobs(4),
+            "requested width is clamped to the machine"
+        );
     }
 
     #[test]

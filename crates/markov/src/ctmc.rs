@@ -41,6 +41,27 @@ impl Ctmc {
         }
     }
 
+    /// Flat entry position of the transition `from → to`, if present (see
+    /// [`CsrMatrix::entry_index`]).
+    pub(crate) fn entry_index(&self, from: usize, to: usize) -> Option<usize> {
+        self.rows.entry_index(from, to)
+    }
+
+    /// Rate-only rebuild: replaces every transition rate in flat entry
+    /// order, keeping the sparsity structure, and re-derives the exit rates
+    /// exactly as [`Ctmc::from_parts`] does — so a patched chain is
+    /// bit-identical to one built from scratch with the same merged rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != n_transitions()`.
+    pub(crate) fn patch_rates(&mut self, values: &[f64]) {
+        self.rows.overwrite_values(values);
+        for s in 0..self.n_states {
+            self.exit_rates[s] = self.rows.row(s).iter().map(|&(_, r)| r).sum();
+        }
+    }
+
     /// Number of states.
     #[must_use]
     pub fn n_states(&self) -> usize {

@@ -18,6 +18,11 @@ use crate::{Ctmc, CtmcBuilder, MarkovError};
 pub struct Explored<S> {
     ctmc: Ctmc,
     states: Vec<S>,
+    /// Inverse of `states`, retained so [`Explored::repatch`] can map rule
+    /// successors back to indices without re-running BFS.
+    index: HashMap<S, usize>,
+    /// Reusable per-entry rate accumulator for `repatch`.
+    patch_values: Vec<f64>,
 }
 
 impl<S> Explored<S> {
@@ -52,6 +57,67 @@ impl<S> Explored<S> {
     /// Evaluates a per-state reward vector (e.g. 1.0 for "down" states).
     pub fn reward_vector<F: Fn(&S) -> f64>(&self, reward: F) -> Vec<f64> {
         self.states.iter().map(reward).collect()
+    }
+}
+
+impl<S: Eq + Hash> Explored<S> {
+    /// Rate-only rebuild: re-runs `successors` over the already-discovered
+    /// states and patches the transition rates in place, keeping the state
+    /// indexing and sparsity structure — no BFS, no hashing of new states,
+    /// no CSR re-sort.
+    ///
+    /// Returns `true` on success. Returns `false` — leaving the chain
+    /// untouched — whenever the rule's nonzero transition structure differs
+    /// from the stored one in any way: a successor state that was never
+    /// discovered, a `from → to` pair with no stored entry, a stored entry
+    /// receiving no (or non-positive) contribution, or a non-finite or
+    /// negative rate. The caller then falls back to a full
+    /// [`explore`], which also surfaces the proper error for invalid rules.
+    ///
+    /// When it succeeds, the patched chain is **bit-identical** to the one
+    /// a fresh `explore` of the same rule would build: contributions to
+    /// each entry are accumulated in rule-output order, which matches the
+    /// insertion-order summation of the (stable-sorted) triplet build, and
+    /// exit rates are re-derived the same way.
+    pub fn repatch<F, I>(&mut self, successors: F) -> bool
+    where
+        F: Fn(&S) -> I,
+        I: IntoIterator<Item = (f64, S)>,
+    {
+        let nnz = self.ctmc.n_transitions();
+        let mut values = std::mem::take(&mut self.patch_values);
+        values.clear();
+        values.resize(nnz, 0.0);
+        let mut ok = true;
+        'outer: for (from, state) in self.states.iter().enumerate() {
+            for (rate, next) in successors(state) {
+                if rate == 0.0 {
+                    continue;
+                }
+                if !rate.is_finite() || rate < 0.0 {
+                    ok = false; // invalid rule: rebuild reports the error
+                    break 'outer;
+                }
+                let Some(&to) = self.index.get(&next) else {
+                    ok = false; // new state: topology changed
+                    break 'outer;
+                };
+                let Some(idx) = self.ctmc.entry_index(from, to) else {
+                    ok = false; // new edge (or self-loop): topology changed
+                    break 'outer;
+                };
+                values[idx] += rate;
+            }
+        }
+        // Every stored entry must be re-fed: rates are positive, so a zero
+        // accumulator means the edge vanished and the reachable set (or at
+        // least the structure) may differ.
+        ok = ok && values.iter().all(|&v| v > 0.0 && v.is_finite());
+        if ok {
+            self.ctmc.patch_rates(&values);
+        }
+        self.patch_values = values;
+        ok
     }
 }
 
@@ -146,7 +212,12 @@ where
         builder.rate(from, to, rate);
     }
     let ctmc = builder.build_lenient()?;
-    Ok(Explored { ctmc, states })
+    Ok(Explored {
+        ctmc,
+        states,
+        index,
+        patch_values: Vec::new(),
+    })
 }
 
 #[cfg(test)]
@@ -210,6 +281,121 @@ mod tests {
         .unwrap();
         let r = e.reward_vector(|&k| if k == 1 { 1.0 } else { 0.0 });
         assert_eq!(r, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn repatch_matches_fresh_explore_bit_for_bit() {
+        let rule = |scale: f64| {
+            move |&k: &u8| {
+                let mut out = Vec::new();
+                if k < 3 {
+                    out.push((scale * (3 - k) as f64, k + 1));
+                }
+                if k > 0 {
+                    out.push((2.0 * scale * k as f64, k - 1));
+                }
+                out
+            }
+        };
+        let mut warm = explore(0_u8, 100, rule(1.0)).unwrap();
+        // Same topology, different rates: must patch in place...
+        assert!(warm.repatch(rule(1.7)));
+        // ...and agree bit-for-bit with a from-scratch exploration.
+        let cold = explore(0_u8, 100, rule(1.7)).unwrap();
+        assert_eq!(warm.ctmc(), cold.ctmc());
+        assert_eq!(warm.states(), cold.states());
+        // Repeated repatching keeps working (buffers are recycled).
+        assert!(warm.repatch(rule(0.3)));
+        assert_eq!(warm.ctmc(), explore(0_u8, 100, rule(0.3)).unwrap().ctmc());
+    }
+
+    #[test]
+    fn repatch_rejects_topology_changes_and_leaves_chain_untouched() {
+        let base = |&k: &u8| {
+            let mut out = Vec::new();
+            if k < 2 {
+                out.push((1.0, k + 1));
+            }
+            if k > 0 {
+                out.push((2.0, k - 1));
+            }
+            out
+        };
+        let mut e = explore(0_u8, 100, base).unwrap();
+        let before = e.ctmc().clone();
+
+        // Deeper chain: introduces a state never discovered.
+        let deeper = |&k: &u8| {
+            let mut out = Vec::new();
+            if k < 3 {
+                out.push((1.0, k + 1));
+            }
+            if k > 0 {
+                out.push((2.0, k - 1));
+            }
+            out
+        };
+        assert!(!e.repatch(deeper));
+        assert_eq!(e.ctmc(), &before, "failed repatch must not corrupt");
+
+        // Extra edge between existing states.
+        let chord = |&k: &u8| {
+            let mut out = base(&k);
+            if k == 0 {
+                out.push((0.5, 2_u8));
+            }
+            out
+        };
+        assert!(!e.repatch(chord));
+        assert_eq!(e.ctmc(), &before);
+
+        // Vanished edge (rate dropped to zero).
+        let pruned = |&k: &u8| {
+            let mut out = base(&k);
+            if k == 2 {
+                out.clear();
+            }
+            out
+        };
+        assert!(!e.repatch(pruned));
+        assert_eq!(e.ctmc(), &before);
+
+        // Invalid rate: bail so a full rebuild reports the real error.
+        let negative = |&k: &u8| {
+            if k == 0 {
+                vec![(-1.0, 1_u8)]
+            } else {
+                base(&k)
+            }
+        };
+        assert!(!e.repatch(negative));
+        assert_eq!(e.ctmc(), &before);
+
+        // The chain still repatches fine with a rate-only change.
+        let scaled = |&k: &u8| {
+            base(&k)
+                .into_iter()
+                .map(|(r, s)| (3.0 * r, s))
+                .collect::<Vec<_>>()
+        };
+        assert!(e.repatch(scaled));
+        assert_eq!(e.ctmc(), explore(0_u8, 100, scaled).unwrap().ctmc());
+    }
+
+    #[test]
+    fn repatch_merges_duplicate_contributions_like_a_rebuild() {
+        // Two rule outputs landing on the same (from, to) pair must merge
+        // by summation in output order, exactly like the triplet build.
+        let rule = |a: f64, b: f64| {
+            move |&k: &u8| match k {
+                0 => vec![(a, 1_u8), (b, 1_u8)],
+                _ => vec![(1.0, 0_u8)],
+            }
+        };
+        let mut warm = explore(0_u8, 10, rule(0.1, 0.2)).unwrap();
+        assert!(warm.repatch(rule(0.3, 0.4)));
+        let cold = explore(0_u8, 10, rule(0.3, 0.4)).unwrap();
+        assert_eq!(warm.ctmc(), cold.ctmc());
     }
 
     #[test]

@@ -16,7 +16,11 @@
 //!   ([`PowerSolver`]);
 //! * [`FallbackSolver`] — a resilient policy chaining the three solvers
 //!   with per-attempt budgets and a `‖πQ‖∞` residual acceptance check,
-//!   recording every attempt in a [`SolveDiagnostics`] trail;
+//!   recording every attempt in a [`SolveDiagnostics`] trail; its
+//!   [`FallbackSolver::solve_warm`] entry point threads an optional
+//!   warm-start hint and a reusable [`SolveScratch`] workspace through the
+//!   chain, and [`Explored::repatch`] rebuilds a chain's rates in place
+//!   when only the rates (not the topology) changed;
 //! * [`birth_death::steady_state`] — the closed-form product solution for
 //!   birth–death chains, used to cross-check the general solvers;
 //! * [`transient`] — uniformization-based transient analysis (probability
@@ -45,6 +49,7 @@ mod csr;
 mod ctmc;
 mod error;
 mod explore;
+mod scratch;
 mod solve_dense;
 mod solve_fallback;
 mod solve_gauss_seidel;
@@ -56,6 +61,7 @@ pub use csr::CsrMatrix;
 pub use ctmc::{Ctmc, Transition};
 pub use error::MarkovError;
 pub use explore::{explore, Explored};
+pub use scratch::SolveScratch;
 pub use solve_dense::DenseSolver;
 pub use solve_fallback::{FallbackSolver, SolveAttempt, SolveDiagnostics, SolverKind};
 pub use solve_gauss_seidel::GaussSeidelSolver;

@@ -1,5 +1,6 @@
 //! Exact steady-state solution by Gaussian elimination.
 
+use crate::scratch::SolveScratch;
 use crate::{Ctmc, MarkovError, SteadyStateSolver};
 
 /// Direct steady-state solver.
@@ -33,20 +34,30 @@ impl DenseSolver {
     pub fn new() -> DenseSolver {
         DenseSolver::default()
     }
-}
 
-impl SteadyStateSolver for DenseSolver {
-    fn steady_state(&self, ctmc: &Ctmc) -> Result<Vec<f64>, MarkovError> {
+    /// The elimination, writing the solution into `scratch.pi` and reusing
+    /// the scratch's `n × n` matrix buffer — the dominant allocation of a
+    /// dense solve.
+    pub(crate) fn solve_into(
+        &self,
+        ctmc: &Ctmc,
+        scratch: &mut SolveScratch,
+    ) -> Result<(), MarkovError> {
         ctmc.check_irreducible()
             .map_err(|state| MarkovError::Reducible { state })?;
         let n = ctmc.n_states();
         if n == 1 {
-            return Ok(vec![1.0]);
+            scratch.pi.clear();
+            scratch.pi.push(1.0);
+            return Ok(());
         }
 
         // Assemble A = Qᵀ as a dense matrix, then overwrite the last row
         // with ones (normalization). b = e_{n-1}.
-        let mut a = vec![0.0_f64; n * n];
+        let SolveScratch { pi, dense, rhs, .. } = scratch;
+        let a = dense;
+        a.clear();
+        a.resize(n * n, 0.0);
         for t in ctmc.transitions() {
             // Q[from][to] += rate; Q[from][from] -= rate. Transposed:
             a[t.to * n + t.from] += t.rate;
@@ -55,14 +66,16 @@ impl SteadyStateSolver for DenseSolver {
         for col in 0..n {
             a[(n - 1) * n + col] = 1.0;
         }
-        let mut b = vec![0.0_f64; n];
+        let b = rhs;
+        b.clear();
+        b.resize(n, 0.0);
         b[n - 1] = 1.0;
 
-        solve_linear(&mut a, &mut b, n)?;
+        solve_linear(a, b, n)?;
 
         // Guard against tiny negative values from rounding.
         let mut sum = 0.0;
-        for p in &mut b {
+        for p in b.iter_mut() {
             if *p < 0.0 {
                 if *p < -1e-8 {
                     return Err(MarkovError::Singular);
@@ -74,10 +87,20 @@ impl SteadyStateSolver for DenseSolver {
         if sum.is_nan() || sum <= 0.0 || !sum.is_finite() {
             return Err(MarkovError::Singular);
         }
-        for p in &mut b {
+        for p in b.iter_mut() {
             *p /= sum;
         }
-        Ok(b)
+        pi.clear();
+        pi.extend_from_slice(b);
+        Ok(())
+    }
+}
+
+impl SteadyStateSolver for DenseSolver {
+    fn steady_state(&self, ctmc: &Ctmc) -> Result<Vec<f64>, MarkovError> {
+        let mut scratch = SolveScratch::new();
+        self.solve_into(ctmc, &mut scratch)?;
+        Ok(std::mem::take(&mut scratch.pi))
     }
 }
 

@@ -16,6 +16,7 @@
 //! (the availability engines and, above them, the design search) can report
 //! how degraded an evaluation was.
 
+use crate::scratch::{sanitize_hint, SolveScratch};
 use crate::{Ctmc, DenseSolver, GaussSeidelSolver, MarkovError, PowerSolver, SteadyStateSolver};
 use std::time::{Duration, Instant};
 
@@ -52,6 +53,11 @@ pub struct SolveAttempt {
     pub residual: Option<f64>,
     /// Wall-clock time the attempt took.
     pub wall_time: Duration,
+    /// Iterative sweeps the attempt used (`0` for the direct dense solve).
+    pub iterations: usize,
+    /// Whether the attempt started from a warm hint rather than the uniform
+    /// distribution (always `false` for the dense solve, which is direct).
+    pub warm_started: bool,
 }
 
 impl SolveAttempt {
@@ -68,6 +74,9 @@ pub struct SolveDiagnostics {
     /// Attempts in the order they ran; the last one is the accepted attempt
     /// when the solve succeeded.
     pub attempts: Vec<SolveAttempt>,
+    /// Whether a usable (correctly sized, finite, positive-mass) warm-start
+    /// hint was supplied to this solve.
+    pub warm_hint_used: bool,
 }
 
 impl SolveDiagnostics {
@@ -93,6 +102,32 @@ impl SolveDiagnostics {
             .iter()
             .find(|a| a.accepted())
             .and_then(|a| a.residual)
+    }
+
+    /// Sweeps used by the accepted attempt, if any (`Some(0)` for dense).
+    #[must_use]
+    pub fn accepted_iterations(&self) -> Option<usize> {
+        self.attempts
+            .iter()
+            .find(|a| a.accepted())
+            .map(|a| a.iterations)
+    }
+
+    /// Total iterative sweeps across all attempts, accepted or not.
+    #[must_use]
+    pub fn total_iterations(&self) -> u64 {
+        self.attempts.iter().map(|a| a.iterations as u64).sum()
+    }
+
+    /// Whether the accepted solution actually consumed the warm hint (an
+    /// iterative solver started from it). Dense acceptance leaves this
+    /// `false` even when a hint was offered.
+    #[must_use]
+    pub fn warm_start_consumed(&self) -> bool {
+        self.attempts
+            .iter()
+            .find(|a| a.accepted())
+            .is_some_and(|a| a.warm_started)
     }
 
     /// Total wall-clock time across all attempts.
@@ -135,6 +170,7 @@ pub struct FallbackSolver {
     attempt_budget: Option<Duration>,
     dense_preferred_below: usize,
     dense_state_limit: usize,
+    assume_irreducible: bool,
 }
 
 impl FallbackSolver {
@@ -154,12 +190,21 @@ impl FallbackSolver {
             });
         }
         Ok(FallbackSolver {
-            gauss_seidel: GaussSeidelSolver::default(),
+            // The Gauss–Seidel stage may stop once its measured balance
+            // residual is three decades below the acceptance tolerance:
+            // the acceptance gate re-verifies every solution anyway, and
+            // the margin keeps the returned state vector accurate to
+            // roughly the gate itself even on weakly-ergodic chains
+            // (entry error ~ residual x the chain's slowest-mode
+            // amplification).
+            gauss_seidel: GaussSeidelSolver::default()
+                .with_residual_exit(residual_tolerance * 1e-3),
             power: PowerSolver::default(),
             residual_tolerance,
             attempt_budget: Some(Duration::from_secs(30)),
             dense_preferred_below: 3000,
             dense_state_limit: 20_000,
+            assume_irreducible: false,
         })
     }
 
@@ -218,6 +263,20 @@ impl FallbackSolver {
     #[must_use]
     pub fn with_dense_state_limit(mut self, n_states: usize) -> FallbackSolver {
         self.dense_state_limit = n_states;
+        self
+    }
+
+    /// Declares the chain's structure already verified: the iterative
+    /// stages skip their up-front strong-connectivity traversals.
+    ///
+    /// Only sound when the identical transition structure previously
+    /// produced an accepted solution — the warm-start engines set this for
+    /// rate-only in-place rebuilds of cached chains, where irreducibility
+    /// (a purely structural property) cannot have changed. The acceptance
+    /// gate still re-verifies every solution.
+    #[must_use]
+    pub fn with_irreducibility_assumed(mut self, assume: bool) -> FallbackSolver {
+        self.assume_irreducible = assume;
         self
     }
 
@@ -285,52 +344,95 @@ impl FallbackSolver {
         &self,
         ctmc: &Ctmc,
     ) -> (Result<Vec<f64>, MarkovError>, SolveDiagnostics) {
-        let mut diagnostics = SolveDiagnostics::default();
+        self.solve_warm(ctmc, None, &mut SolveScratch::new())
+    }
+
+    /// Runs the fallback chain with an optional warm-start hint and a
+    /// reusable solve workspace.
+    ///
+    /// The hint seeds the *iterative* stages (Gauss–Seidel, power); the
+    /// dense direct solve ignores it. Soundness does not depend on the
+    /// hint: every produced solution still has to pass the same acceptance
+    /// test (finite, non-negative, normalized, `‖πQ‖∞` under the residual
+    /// tolerance), so a warm start can only change how fast an acceptable
+    /// solution is found, never *whether* a solution is acceptable.
+    ///
+    /// Adversarial hints degrade to a cold start: a wrong-sized, non-finite
+    /// or zero-mass hint is discarded (see `SolveDiagnostics::warm_hint_used`),
+    /// and a non-normalized one is renormalized. `scratch` carries the
+    /// iteration vectors, transposed adjacency, and dense matrix across
+    /// calls so repeated solves stop reallocating them.
+    pub fn solve_warm(
+        &self,
+        ctmc: &Ctmc,
+        hint: Option<&[f64]>,
+        scratch: &mut SolveScratch,
+    ) -> (Result<Vec<f64>, MarkovError>, SolveDiagnostics) {
+        let warm = hint.and_then(|h| sanitize_hint(ctmc.n_states(), h));
+        let mut diagnostics = SolveDiagnostics {
+            warm_hint_used: warm.is_some(),
+            ..SolveDiagnostics::default()
+        };
         let mut last_error = MarkovError::EmptyChain;
         for kind in self.attempt_order(ctmc.n_states()) {
             let started = Instant::now();
+            let warm_started = warm.is_some() && kind != SolverKind::Dense;
             let raw = match kind {
                 SolverKind::GaussSeidel => {
                     let mut solver = self.gauss_seidel;
                     if let Some(budget) = self.attempt_budget {
                         solver = solver.with_time_budget(budget);
                     }
-                    solver.steady_state(ctmc)
+                    if self.assume_irreducible {
+                        solver = solver.assuming_irreducible();
+                    }
+                    solver.sweep_into(ctmc, warm.as_deref(), scratch)
                 }
                 SolverKind::Power => {
                     let mut solver = self.power;
                     if let Some(budget) = self.attempt_budget {
                         solver = solver.with_time_budget(budget);
                     }
-                    solver.steady_state(ctmc)
+                    solver.power_into(ctmc, warm.as_deref(), scratch)
                 }
-                SolverKind::Dense => DenseSolver::new().steady_state(ctmc),
+                SolverKind::Dense => DenseSolver::new().solve_into(ctmc, scratch).map(|()| 0),
             };
             let (checked, residual) = match raw {
-                Ok(pi) => match self.accept(ctmc, &pi) {
-                    Ok(residual) => (Ok(pi), Some(residual)),
+                Ok(iterations) => match self.accept(ctmc, &scratch.pi) {
+                    Ok(residual) => (Ok(iterations), Some(residual)),
                     Err(e) => {
                         let residual = match e {
                             MarkovError::ResidualTooLarge { residual, .. } => Some(residual),
                             _ => None,
                         };
-                        (Err(e), residual)
+                        (Err((e, iterations)), residual)
                     }
                 },
-                Err(e) => (Err(e), None),
+                Err(e) => {
+                    // Failed iterative attempts still burned sweeps; the
+                    // count rides in the error.
+                    let iterations = match e {
+                        MarkovError::NoConvergence { iterations, .. }
+                        | MarkovError::TimedOut { iterations, .. } => iterations,
+                        _ => 0,
+                    };
+                    (Err((e, iterations)), None)
+                }
             };
             let wall_time = started.elapsed();
             match checked {
-                Ok(pi) => {
+                Ok(iterations) => {
                     diagnostics.attempts.push(SolveAttempt {
                         solver: kind,
                         error: None,
                         residual,
                         wall_time,
+                        iterations,
+                        warm_started,
                     });
-                    return (Ok(pi), diagnostics);
+                    return (Ok(scratch.pi.clone()), diagnostics);
                 }
-                Err(e) => {
+                Err((e, iterations)) => {
                     // Structural failures apply to every solver: stop early
                     // rather than re-diagnosing the same chain three times.
                     let structural =
@@ -340,6 +442,8 @@ impl FallbackSolver {
                         error: Some(e.clone()),
                         residual,
                         wall_time,
+                        iterations,
+                        warm_started,
                     });
                     last_error = e;
                     if structural {
@@ -490,6 +594,34 @@ mod tests {
         }
     }
 
+    #[test]
+    fn iterative_path_accepts_early_via_the_residual_exit() {
+        // The default policy's Gauss-Seidel stage stops once the balance
+        // residual is three decades under the acceptance gate; a stage
+        // without the exit grinds on to its per-sweep-delta tolerance.
+        let mut b = CtmcBuilder::new(12);
+        for i in 0..12_usize {
+            b.rate(i, (i + 1) % 12, 0.2 + i as f64 / 2.0);
+            b.rate((i + 1) % 12, i, 1.0 + i as f64 / 5.0);
+        }
+        let ctmc = b.build().unwrap();
+        let fast = FallbackSolver::default().with_dense_preferred_below(0);
+        let slow = fast.with_gauss_seidel(GaussSeidelSolver::default());
+        let (pi_fast, diag_fast) = fast.solve_with_diagnostics(&ctmc);
+        let (pi_slow, diag_slow) = slow.solve_with_diagnostics(&ctmc);
+        let (pi_fast, pi_slow) = (pi_fast.unwrap(), pi_slow.unwrap());
+        assert!(diag_fast.accepted_residual().unwrap() <= 1e-9);
+        assert!(
+            diag_fast.accepted_iterations().unwrap() < diag_slow.accepted_iterations().unwrap(),
+            "residual exit saved no sweeps: {:?} vs {:?}",
+            diag_fast.accepted_iterations(),
+            diag_slow.accepted_iterations()
+        );
+        for (f, s) in pi_fast.iter().zip(pi_slow.iter()) {
+            assert!((f - s).abs() < 1e-9, "early-exit drifted: {f} vs {s}");
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(48))]
         // Satellite requirement: FallbackSolver agrees with DenseSolver on
@@ -521,6 +653,69 @@ mod tests {
             prop_assert!(diag.accepted_residual().unwrap() <= 1e-9);
             for (d, p) in dense.iter().zip(pi.iter()) {
                 prop_assert!((d - p).abs() < 1e-8, "dense={} fallback={}", d, p);
+            }
+        }
+
+        // Satellite requirement: a warm-started FallbackSolver agrees with
+        // the cold solve to 1e-9 on random ergodic chains, including
+        // adversarial warm starts (wrong-size hint rejected, non-normalized
+        // hint renormalized, NaN hint ignored → cold path).
+        #[test]
+        fn warm_start_agrees_with_cold_on_random_ergodic_chains(
+            n in 2_usize..65,
+            rates in proptest::collection::vec(0.05_f64..20.0, 2 * 64),
+            chords in proptest::collection::vec((0_usize..64, 0_usize..64, 0.05_f64..20.0), 0..12),
+            perturb in 0.5_f64..2.0,
+        ) {
+            let mut b = CtmcBuilder::new(n);
+            for i in 0..n {
+                b.rate(i, (i + 1) % n, rates[i]);
+                b.rate((i + 1) % n, i, rates[64 + i]);
+            }
+            for (from, to, rate) in chords {
+                let (from, to) = (from % n, to % n);
+                if from != to {
+                    b.rate(from, to, rate);
+                }
+            }
+            let ctmc = b.build().unwrap();
+            // Iterative-first so the hint is actually consumed.
+            let solver = FallbackSolver::default().with_dense_preferred_below(0);
+            let (cold, _) = solver.solve_with_diagnostics(&ctmc);
+            let cold = cold.unwrap();
+            let mut scratch = SolveScratch::new();
+
+            // A plausible neighbor hint: the cold solution perturbed and
+            // deliberately left non-normalized (renormalizing is the
+            // solver's job).
+            let hint: Vec<f64> = cold
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| if i % 2 == 0 { p * perturb } else { p })
+                .collect();
+            let (warm, warm_diag) = solver.solve_warm(&ctmc, Some(&hint), &mut scratch);
+            let warm = warm.unwrap();
+            prop_assert!(warm_diag.warm_hint_used);
+            prop_assert!(warm_diag.warm_start_consumed());
+            prop_assert!(warm_diag.accepted_residual().unwrap() <= 1e-9);
+            for (c, w) in cold.iter().zip(warm.iter()) {
+                prop_assert!((c - w).abs() < 1e-9, "cold={} warm={}", c, w);
+            }
+
+            // Adversarial hints are discarded and the solve degrades to the
+            // cold path — bit-identically, since a discarded hint leaves no
+            // trace in the arithmetic.
+            let wrong_size = vec![1.0; n + 1];
+            let mut with_nan = cold.clone();
+            with_nan[0] = f64::NAN;
+            let no_mass = vec![0.0; n];
+            for bad in [&wrong_size[..], &with_nan[..], &no_mass[..]] {
+                let (pi, diag) = solver.solve_warm(&ctmc, Some(bad), &mut scratch);
+                let pi = pi.unwrap();
+                prop_assert!(!diag.warm_hint_used, "unusable hint must be discarded");
+                for (c, p) in cold.iter().zip(pi.iter()) {
+                    prop_assert_eq!(c.to_bits(), p.to_bits());
+                }
             }
         }
     }

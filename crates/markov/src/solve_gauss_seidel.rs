@@ -1,5 +1,6 @@
 //! Iterative steady-state solution by Gauss–Seidel sweeps.
 
+use crate::scratch::{sanitize_hint, SolveScratch};
 use crate::{Ctmc, MarkovError, SteadyStateSolver};
 
 /// Gauss–Seidel steady-state solver.
@@ -31,6 +32,8 @@ pub struct GaussSeidelSolver {
     max_sweeps: usize,
     relaxation: f64,
     time_budget: Option<std::time::Duration>,
+    residual_exit: Option<f64>,
+    assume_irreducible: bool,
 }
 
 impl GaussSeidelSolver {
@@ -57,6 +60,8 @@ impl GaussSeidelSolver {
             max_sweeps,
             relaxation: 0.9,
             time_budget: None,
+            residual_exit: None,
+            assume_irreducible: false,
         })
     }
 
@@ -123,32 +128,133 @@ impl GaussSeidelSolver {
         self.time_budget = Some(budget);
         self
     }
-}
 
-impl Default for GaussSeidelSolver {
-    /// Relative tolerance `1e-13`, at most `100_000` sweeps.
-    fn default() -> GaussSeidelSolver {
-        GaussSeidelSolver::new(1e-13, 100_000)
+    /// Lets the sweep loop stop as soon as the measured balance residual
+    /// `‖πQ‖∞` drops to `threshold`, even though the per-sweep delta has
+    /// not reached the solver's own tolerance yet.
+    ///
+    /// The per-sweep relative-change criterion is a *proxy* for solution
+    /// quality; callers that judge solutions by their balance residual (the
+    /// [`FallbackSolver`](crate::FallbackSolver) acceptance gate) would
+    /// otherwise pay for sweeps long past the point where the solution is
+    /// already acceptable. The residual is checked every few sweeps (it
+    /// costs about as much as a sweep), so overshoot is bounded; callers
+    /// that need the exit to *guarantee* acceptance should leave a margin
+    /// below their acceptance tolerance to absorb summation-order
+    /// differences between this check and their own.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not a positive finite number.
+    #[must_use]
+    pub fn with_residual_exit(mut self, threshold: f64) -> GaussSeidelSolver {
+        assert!(
+            threshold > 0.0 && threshold.is_finite(),
+            "residual-exit threshold must be positive and finite, got {threshold}"
+        );
+        self.residual_exit = Some(threshold);
+        self
     }
-}
 
-impl SteadyStateSolver for GaussSeidelSolver {
-    fn steady_state(&self, ctmc: &Ctmc) -> Result<Vec<f64>, MarkovError> {
-        ctmc.check_irreducible()
-            .map_err(|state| MarkovError::Reducible { state })?;
+    /// Skips the up-front strong-connectivity check.
+    ///
+    /// Irreducibility is purely structural (rates are always positive), so
+    /// a caller re-solving a chain whose structure already passed a solve —
+    /// e.g. a rate-only in-place rebuild of a cached chain — pays two full
+    /// graph traversals per solve for a property that cannot have changed.
+    /// The in-sweep guard against zero exit rates stays active, and callers
+    /// must only set this when the same structure was previously solved
+    /// successfully.
+    #[must_use]
+    pub fn assuming_irreducible(mut self) -> GaussSeidelSolver {
+        self.assume_irreducible = true;
+        self
+    }
+
+    /// Like [`SteadyStateSolver::steady_state`] but starts the sweeps from
+    /// `pi0` instead of the uniform distribution — a warm start.
+    ///
+    /// Acceptance is unaffected: the convergence criterion is relative
+    /// per-sweep change, and the downstream
+    /// [`FallbackSolver`](crate::FallbackSolver) re-verifies any solution
+    /// against the balance residual `‖πQ‖∞`, so a good hint saves sweeps
+    /// while a bad one merely costs them. `pi0` is renormalized to unit
+    /// mass before use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::InvalidSolverConfig`] when the hint is
+    /// unusable (wrong length, non-finite or negative entries, zero mass),
+    /// plus every error `steady_state` can return.
+    pub fn steady_state_from(&self, ctmc: &Ctmc, pi0: &[f64]) -> Result<Vec<f64>, MarkovError> {
+        let hint = sanitize_hint(ctmc.n_states(), pi0).ok_or_else(|| {
+            MarkovError::InvalidSolverConfig {
+                detail: format!(
+                    "warm-start hint unusable: need {} finite non-negative entries with positive mass",
+                    ctmc.n_states()
+                ),
+            }
+        })?;
+        let mut scratch = SolveScratch::new();
+        self.sweep_into(ctmc, Some(&hint), &mut scratch)?;
+        Ok(std::mem::take(&mut scratch.pi))
+    }
+
+    /// The sweep loop, writing the solution into `scratch.pi` and reusing
+    /// the scratch's transposed-adjacency buffers. Returns the number of
+    /// sweeps used. `warm`, when given, must already be sanitized
+    /// (normalized, non-negative, correct length).
+    pub(crate) fn sweep_into(
+        &self,
+        ctmc: &Ctmc,
+        warm: Option<&[f64]>,
+        scratch: &mut SolveScratch,
+    ) -> Result<usize, MarkovError> {
+        if !self.assume_irreducible {
+            ctmc.check_irreducible()
+                .map_err(|state| MarkovError::Reducible { state })?;
+        }
         let n = ctmc.n_states();
         if n == 1 {
-            return Ok(vec![1.0]);
+            scratch.pi.clear();
+            scratch.pi.push(1.0);
+            return Ok(0);
         }
 
-        // Incoming transitions per state: in_edges[j] = [(i, q_ij)].
-        let mut in_edges: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        // Incoming transitions per state, in flat transposed-CSR form:
+        // in_edges[in_starts[j]..in_starts[j+1]] = [(i, q_ij)]. Entries per
+        // state arrive in the same (source-ascending) order the old
+        // Vec<Vec<_>> build produced, so sweep arithmetic is bit-identical.
+        let SolveScratch {
+            pi,
+            in_starts,
+            in_edges,
+            in_cursor,
+            ..
+        } = scratch;
+        in_starts.clear();
+        in_starts.resize(n + 1, 0);
         for t in ctmc.transitions() {
-            in_edges[t.to].push((t.from, t.rate));
+            in_starts[t.to + 1] += 1;
+        }
+        for j in 0..n {
+            in_starts[j + 1] += in_starts[j];
+        }
+        in_cursor.clear();
+        in_cursor.extend_from_slice(&in_starts[..n]);
+        in_edges.clear();
+        in_edges.resize(in_starts[n], (0, 0.0));
+        for t in ctmc.transitions() {
+            in_edges[in_cursor[t.to]] = (t.from, t.rate);
+            in_cursor[t.to] += 1;
         }
 
         let start = self.time_budget.map(|_| std::time::Instant::now());
-        let mut pi = vec![1.0 / n as f64; n];
+        pi.clear();
+        match warm {
+            Some(hint) => pi.extend_from_slice(hint),
+            None => pi.resize(n, 1.0 / n as f64),
+        }
         for sweep in 0..self.max_sweeps {
             if let (Some(budget), Some(start)) = (self.time_budget, start) {
                 // Check every 64 sweeps: cheap, bounded overshoot.
@@ -167,7 +273,10 @@ impl SteadyStateSolver for GaussSeidelSolver {
                     // chain) has an exit; defensive.
                     return Err(MarkovError::Reducible { state: j });
                 }
-                let inflow: f64 = in_edges[j].iter().map(|&(i, q)| pi[i] * q).sum();
+                let inflow: f64 = in_edges[in_starts[j]..in_starts[j + 1]]
+                    .iter()
+                    .map(|&(i, q)| pi[i] * q)
+                    .sum();
                 let old = pi[j];
                 let v = (1.0 - self.relaxation) * old + self.relaxation * (inflow / exit);
                 pi[j] = v;
@@ -186,11 +295,32 @@ impl SteadyStateSolver for GaussSeidelSolver {
             if sum.is_nan() || sum <= 0.0 || !sum.is_finite() {
                 return Err(MarkovError::Singular);
             }
-            for p in &mut pi {
+            for p in pi.iter_mut() {
                 *p /= sum;
             }
             if delta < self.tolerance {
-                return Ok(pi);
+                return Ok(sweep + 1);
+            }
+            // Residual early exit: every 4th sweep, measure the actual
+            // balance residual and stop once it clears the caller's
+            // threshold — the per-sweep delta criterion is only a proxy and
+            // typically keeps sweeping long after the solution is already
+            // acceptable. The check reuses the transposed adjacency, so it
+            // costs about as much as one sweep.
+            if let Some(gate) = self.residual_exit {
+                if (sweep + 1) % 4 == 0 {
+                    let mut worst = 0.0_f64;
+                    for j in 0..n {
+                        let inflow: f64 = in_edges[in_starts[j]..in_starts[j + 1]]
+                            .iter()
+                            .map(|&(i, q)| pi[i] * q)
+                            .sum();
+                        worst = worst.max((inflow - pi[j] * ctmc.exit_rate(j)).abs());
+                    }
+                    if worst <= gate {
+                        return Ok(sweep + 1);
+                    }
+                }
             }
             if sweep == self.max_sweeps - 1 {
                 return Err(MarkovError::NoConvergence {
@@ -200,6 +330,21 @@ impl SteadyStateSolver for GaussSeidelSolver {
             }
         }
         unreachable!("loop always returns")
+    }
+}
+
+impl Default for GaussSeidelSolver {
+    /// Relative tolerance `1e-13`, at most `100_000` sweeps.
+    fn default() -> GaussSeidelSolver {
+        GaussSeidelSolver::new(1e-13, 100_000)
+    }
+}
+
+impl SteadyStateSolver for GaussSeidelSolver {
+    fn steady_state(&self, ctmc: &Ctmc) -> Result<Vec<f64>, MarkovError> {
+        let mut scratch = SolveScratch::new();
+        self.sweep_into(ctmc, None, &mut scratch)?;
+        Ok(std::mem::take(&mut scratch.pi))
     }
 }
 
@@ -349,6 +494,85 @@ mod tests {
             solver.steady_state(&b.build().unwrap()),
             Err(MarkovError::TimedOut { .. })
         ));
+    }
+
+    #[test]
+    fn warm_start_reaches_the_same_fixed_point_in_fewer_sweeps() {
+        let mut b = CtmcBuilder::new(6);
+        for i in 0..6 {
+            b.rate(i, (i + 1) % 6, 1.0 + i as f64);
+            b.rate((i + 1) % 6, i, 2.5 / (1.0 + i as f64));
+        }
+        let ctmc = b.build().unwrap();
+        let solver = GaussSeidelSolver::default();
+        let cold = solver.steady_state(&ctmc).unwrap();
+        let warm = solver.steady_state_from(&ctmc, &cold).unwrap();
+        for (c, w) in cold.iter().zip(warm.iter()) {
+            assert!((c - w).abs() < 1e-12, "cold={c} warm={w}");
+        }
+        // A converged hint needs strictly fewer sweeps than the cold run.
+        let mut scratch = crate::SolveScratch::new();
+        let cold_sweeps = solver.sweep_into(&ctmc, None, &mut scratch).unwrap();
+        let warm_sweeps = solver.sweep_into(&ctmc, Some(&cold), &mut scratch).unwrap();
+        assert!(
+            warm_sweeps < cold_sweeps,
+            "warm {warm_sweeps} vs cold {cold_sweeps}"
+        );
+    }
+
+    #[test]
+    fn steady_state_from_rejects_unusable_hints() {
+        let mut b = CtmcBuilder::new(2);
+        b.rate(0, 1, 1.0).rate(1, 0, 2.0);
+        let ctmc = b.build().unwrap();
+        let solver = GaussSeidelSolver::default();
+        for bad in [vec![1.0], vec![f64::NAN, 1.0], vec![0.0, 0.0]] {
+            assert!(matches!(
+                solver.steady_state_from(&ctmc, &bad),
+                Err(MarkovError::InvalidSolverConfig { .. })
+            ));
+        }
+        // Non-normalized hints are renormalized, not rejected.
+        assert!(solver.steady_state_from(&ctmc, &[5.0, 5.0]).is_ok());
+    }
+
+    #[test]
+    fn residual_exit_stops_early_and_stays_under_its_gate() {
+        let mut b = CtmcBuilder::new(8);
+        for i in 0..8_usize {
+            b.rate(i, (i + 1) % 8, 0.3 + i as f64);
+            b.rate((i + 1) % 8, i, 2.0 + i as f64 / 3.0);
+        }
+        let ctmc = b.build().unwrap();
+        let mut scratch = SolveScratch::new();
+        let full = GaussSeidelSolver::default()
+            .sweep_into(&ctmc, None, &mut scratch)
+            .unwrap();
+        let gated = GaussSeidelSolver::default().with_residual_exit(1e-6);
+        let sweeps = gated.sweep_into(&ctmc, None, &mut scratch).unwrap();
+        assert!(
+            sweeps < full,
+            "residual exit must beat the per-sweep-delta criterion ({sweeps} vs {full})"
+        );
+        let residual = crate::FallbackSolver::residual_inf_norm(&ctmc, &scratch.pi);
+        assert!(residual <= 1e-6, "exit left residual {residual}");
+    }
+
+    #[test]
+    fn assuming_irreducible_does_not_change_the_solution() {
+        let mut b = CtmcBuilder::new(5);
+        for i in 0..5_usize {
+            b.rate(i, (i + 1) % 5, 1.0 + i as f64);
+            b.rate((i + 1) % 5, i, 0.5);
+        }
+        let ctmc = b.build().unwrap();
+        let plain = GaussSeidelSolver::default().steady_state(&ctmc).unwrap();
+        let mut scratch = SolveScratch::new();
+        GaussSeidelSolver::default()
+            .assuming_irreducible()
+            .sweep_into(&ctmc, None, &mut scratch)
+            .unwrap();
+        assert_eq!(plain, scratch.pi, "the skip is a pure fast path");
     }
 
     proptest! {

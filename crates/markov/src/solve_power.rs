@@ -1,5 +1,6 @@
 //! Iterative steady-state solution by uniformized power iteration.
 
+use crate::scratch::{sanitize_hint, SolveScratch};
 use crate::{Ctmc, MarkovError, SteadyStateSolver};
 
 /// Iterative steady-state solver for large sparse chains.
@@ -92,22 +93,50 @@ impl PowerSolver {
     pub fn max_sweeps(&self) -> usize {
         self.max_sweeps
     }
-}
 
-impl Default for PowerSolver {
-    /// Tolerance `1e-13`, at most `5_000_000` sweeps.
-    fn default() -> PowerSolver {
-        PowerSolver::new(1e-13, 5_000_000)
+    /// Like [`SteadyStateSolver::steady_state`] but starts iteration from
+    /// `pi0` instead of the uniform distribution — a warm start.
+    ///
+    /// The per-sweep convergence criterion and downstream residual checks
+    /// are independent of the starting point, so a good hint saves sweeps
+    /// while a bad one merely costs them. `pi0` is renormalized to unit
+    /// mass before use.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MarkovError::InvalidSolverConfig`] when the hint is
+    /// unusable (wrong length, non-finite or negative entries, zero mass),
+    /// plus every error `steady_state` can return.
+    pub fn steady_state_from(&self, ctmc: &Ctmc, pi0: &[f64]) -> Result<Vec<f64>, MarkovError> {
+        let hint = sanitize_hint(ctmc.n_states(), pi0).ok_or_else(|| {
+            MarkovError::InvalidSolverConfig {
+                detail: format!(
+                    "warm-start hint unusable: need {} finite non-negative entries with positive mass",
+                    ctmc.n_states()
+                ),
+            }
+        })?;
+        let mut scratch = SolveScratch::new();
+        self.power_into(ctmc, Some(&hint), &mut scratch)?;
+        Ok(std::mem::take(&mut scratch.pi))
     }
-}
 
-impl SteadyStateSolver for PowerSolver {
-    fn steady_state(&self, ctmc: &Ctmc) -> Result<Vec<f64>, MarkovError> {
+    /// The iteration loop, writing the solution into `scratch.pi` and
+    /// reusing the scratch's iterate buffers. Returns the number of sweeps
+    /// used. `warm`, when given, must already be sanitized.
+    pub(crate) fn power_into(
+        &self,
+        ctmc: &Ctmc,
+        warm: Option<&[f64]>,
+        scratch: &mut SolveScratch,
+    ) -> Result<usize, MarkovError> {
         ctmc.check_irreducible()
             .map_err(|state| MarkovError::Reducible { state })?;
         let n = ctmc.n_states();
         if n == 1 {
-            return Ok(vec![1.0]);
+            scratch.pi.clear();
+            scratch.pi.push(1.0);
+            return Ok(0);
         }
 
         // Uniformization constant: 1.05 * max exit rate keeps self-loop
@@ -120,8 +149,14 @@ impl SteadyStateSolver for PowerSolver {
         }
 
         let start = self.time_budget.map(|_| std::time::Instant::now());
-        let mut pi = vec![1.0 / n as f64; n];
-        let mut next = vec![0.0_f64; n];
+        let SolveScratch { pi, next, .. } = scratch;
+        pi.clear();
+        match warm {
+            Some(hint) => pi.extend_from_slice(hint),
+            None => pi.resize(n, 1.0 / n as f64),
+        }
+        next.clear();
+        next.resize(n, 0.0);
         let mut last_delta = f64::INFINITY;
         for sweep in 0..self.max_sweeps {
             if let (Some(budget), Some(start)) = (self.time_budget, start) {
@@ -133,7 +168,7 @@ impl SteadyStateSolver for PowerSolver {
                 }
             }
             // next = pi * P = pi + (pi * Q) / lambda
-            next.copy_from_slice(&pi);
+            next.copy_from_slice(pi);
             for t in ctmc.transitions() {
                 let flow = pi[t.from] * t.rate / lambda;
                 next[t.from] -= flow;
@@ -149,7 +184,7 @@ impl SteadyStateSolver for PowerSolver {
             }
             last_delta = delta;
             if delta < self.tolerance {
-                return Ok(pi);
+                return Ok(sweep + 1);
             }
             // Convergence accelerates: check every sweep but bail early if
             // numerically stuck.
@@ -164,6 +199,21 @@ impl SteadyStateSolver for PowerSolver {
             iterations: self.max_sweeps,
             residual: last_delta,
         })
+    }
+}
+
+impl Default for PowerSolver {
+    /// Tolerance `1e-13`, at most `5_000_000` sweeps.
+    fn default() -> PowerSolver {
+        PowerSolver::new(1e-13, 5_000_000)
+    }
+}
+
+impl SteadyStateSolver for PowerSolver {
+    fn steady_state(&self, ctmc: &Ctmc) -> Result<Vec<f64>, MarkovError> {
+        let mut scratch = SolveScratch::new();
+        self.power_into(ctmc, None, &mut scratch)?;
+        Ok(std::mem::take(&mut scratch.pi))
     }
 }
 
@@ -251,6 +301,44 @@ mod tests {
             solver.steady_state(&b.build().unwrap()),
             Err(MarkovError::TimedOut { .. })
         ));
+    }
+
+    #[test]
+    fn warm_start_reaches_the_same_fixed_point_in_fewer_sweeps() {
+        let mut b = CtmcBuilder::new(4);
+        b.rate(0, 1, 3.0)
+            .rate(1, 2, 1.5)
+            .rate(2, 3, 0.5)
+            .rate(3, 0, 2.0)
+            .rate(2, 0, 1.0)
+            .rate(1, 0, 0.25);
+        let ctmc = b.build().unwrap();
+        let solver = PowerSolver::default();
+        let cold = solver.steady_state(&ctmc).unwrap();
+        let warm = solver.steady_state_from(&ctmc, &cold).unwrap();
+        for (c, w) in cold.iter().zip(warm.iter()) {
+            assert!((c - w).abs() < 1e-10, "cold={c} warm={w}");
+        }
+        let mut scratch = crate::SolveScratch::new();
+        let cold_sweeps = solver.power_into(&ctmc, None, &mut scratch).unwrap();
+        let warm_sweeps = solver.power_into(&ctmc, Some(&cold), &mut scratch).unwrap();
+        assert!(
+            warm_sweeps < cold_sweeps,
+            "warm {warm_sweeps} vs cold {cold_sweeps}"
+        );
+    }
+
+    #[test]
+    fn steady_state_from_rejects_unusable_hints() {
+        let mut b = CtmcBuilder::new(2);
+        b.rate(0, 1, 1.0).rate(1, 0, 2.0);
+        let ctmc = b.build().unwrap();
+        for bad in [vec![1.0], vec![f64::NAN, 1.0], vec![-0.5, 1.5]] {
+            assert!(matches!(
+                PowerSolver::default().steady_state_from(&ctmc, &bad),
+                Err(MarkovError::InvalidSolverConfig { .. })
+            ));
+        }
     }
 
     proptest! {

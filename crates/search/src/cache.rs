@@ -4,7 +4,9 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::RwLock;
 
-use aved_avail::{AvailError, AvailabilityEngine, EvalHealth, TierAvailability, TierModel};
+use aved_avail::{
+    AvailError, AvailabilityEngine, EvalHealth, EvalSession, TierAvailability, TierModel,
+};
 
 /// Number of independently-locked shards. Power of two so the shard index
 /// is a mask of the key hash; 16 is plenty for the worker counts a search
@@ -117,6 +119,32 @@ impl AvailabilityEngine for CachingEngine<'_> {
         }
         Ok(result)
     }
+
+    fn evaluate_with_session(
+        &self,
+        model: &TierModel,
+        session: &mut EvalSession,
+    ) -> Result<(TierAvailability, EvalHealth), AvailError> {
+        // Identical to the sessionless path, except a miss hands the
+        // caller's session down to the inner engine so the solve itself can
+        // warm-start. Hits bypass the session entirely (no solve happens).
+        let key = model.structural_hash();
+        let shard = &self.shards[(key as usize) & (SHARDS - 1)];
+        if let Some(bucket) = shard.read().expect("cache shard poisoned").get(&key) {
+            if let Some((_, cached)) = bucket.iter().find(|(m, _)| m == model) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(*cached);
+            }
+        }
+        let result = self.inner.evaluate_with_session(model, session)?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut shard = shard.write().expect("cache shard poisoned");
+        let bucket = shard.entry(key).or_default();
+        if !bucket.iter().any(|(m, _)| m == model) {
+            bucket.push((model.clone(), result));
+        }
+        Ok(result)
+    }
 }
 
 impl std::fmt::Debug for CachingEngine<'_> {
@@ -213,6 +241,24 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(engine.misses(), 1);
         assert_eq!(engine.hits(), 1, "-0.0 must reuse the 0.0 entry");
+    }
+
+    #[test]
+    fn session_path_caches_and_bypasses_the_session_on_hits() {
+        let inner = CtmcEngine::default();
+        let engine = CachingEngine::new(&inner);
+        let mut session = EvalSession::new();
+        let a = engine
+            .evaluate_with_session(&model(2), &mut session)
+            .unwrap();
+        assert_eq!(session.stats().solves, 1, "a miss solves via the session");
+        let b = engine
+            .evaluate_with_session(&model(2), &mut session)
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(session.stats().solves, 1, "a hit does not solve at all");
+        assert_eq!(engine.hits(), 1);
+        assert_eq!(engine.misses(), 1);
     }
 
     #[test]

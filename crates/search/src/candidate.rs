@@ -38,6 +38,12 @@ pub struct SearchOptions {
     /// `SearchStats::pruned_by_cost`). Disable to force exhaustive
     /// evaluation, e.g. when auditing the pruning itself.
     pub prune: bool,
+    /// Warm-started evaluation: each worker carries an `EvalSession` so
+    /// neighboring candidates (the enumeration order is parameter-locality
+    /// order) reuse chain structure and steady-state vectors. On by
+    /// default; the selected design is bit-identical either way — disable
+    /// only to measure the speedup or to force fully independent solves.
+    pub warm_start: bool,
 }
 
 impl Default for SearchOptions {
@@ -53,6 +59,7 @@ impl Default for SearchOptions {
             strict: false,
             jobs: 1,
             prune: true,
+            warm_start: true,
         }
     }
 }
@@ -87,6 +94,14 @@ impl SearchOptions {
     #[must_use]
     pub fn without_pruning(mut self) -> SearchOptions {
         self.prune = false;
+        self
+    }
+
+    /// Disables warm-started evaluation sessions, forcing every candidate
+    /// to be solved cold from a fresh chain build.
+    #[must_use]
+    pub fn without_warm_start(mut self) -> SearchOptions {
+        self.warm_start = false;
         self
     }
 

@@ -1,6 +1,6 @@
 //! Attaching cost, availability and completion time to a candidate design.
 
-use aved_avail::{derive_tier_model, loss_window, EvalHealth, TierAvailability};
+use aved_avail::{derive_tier_model, loss_window, EvalHealth, EvalSession, TierAvailability};
 use aved_jobtime::JobParams;
 use aved_model::{tier_design_cost, ResourceOption, TierDesign};
 use aved_units::{Duration, Money};
@@ -120,6 +120,25 @@ pub fn evaluate_enterprise_design(
     td: &TierDesign,
     load: f64,
 ) -> Result<Option<EvaluatedDesign>, SearchError> {
+    evaluate_enterprise_design_in(ctx, option, td, load, &mut EvalSession::new())
+}
+
+/// [`evaluate_enterprise_design`] with a caller-owned [`EvalSession`]: the
+/// session carries solver scratch, cached chain structure and warm-start
+/// state across calls, so sweeps over neighboring designs (the search
+/// workers' locality-ordered shards) avoid re-exploring and re-solving from
+/// scratch. The result is identical to the session-free path.
+///
+/// # Errors
+///
+/// Returns [`SearchError`] for unresolvable references or engine failures.
+pub fn evaluate_enterprise_design_in(
+    ctx: &EvalContext<'_>,
+    option: &ResourceOption,
+    td: &TierDesign,
+    load: f64,
+    session: &mut EvalSession,
+) -> Result<Option<EvaluatedDesign>, SearchError> {
     let perf = ctx.catalog().resolve_perf(option.performance())?;
     let Some(min_for_perf) = perf.min_active_for(load) else {
         return Ok(None);
@@ -136,7 +155,7 @@ pub fn evaluate_enterprise_design(
         option.failure_scope(),
         min_for_perf,
     )?;
-    let (availability, health) = ctx.engine().evaluate_with_health(&model)?;
+    let (availability, health) = ctx.engine().evaluate_with_session(&model, session)?;
     ensure_finite("unavailability", availability.unavailability())?;
     Ok(Some(EvaluatedDesign {
         design: td.clone(),
@@ -165,6 +184,23 @@ pub fn evaluate_job_design(
     option: &ResourceOption,
     td: &TierDesign,
 ) -> Result<Option<EvaluatedDesign>, SearchError> {
+    evaluate_job_design_in(ctx, option, td, &mut EvalSession::new())
+}
+
+/// [`evaluate_job_design`] with a caller-owned [`EvalSession`] — the
+/// finite-job analogue of [`evaluate_enterprise_design_in`].
+///
+/// # Errors
+///
+/// Returns [`SearchError::RequirementMismatch`] when the service declares
+/// no job size, or other [`SearchError`] variants for reference/engine
+/// failures.
+pub fn evaluate_job_design_in(
+    ctx: &EvalContext<'_>,
+    option: &ResourceOption,
+    td: &TierDesign,
+    session: &mut EvalSession,
+) -> Result<Option<EvaluatedDesign>, SearchError> {
     let job_size = ctx
         .service()
         .job_size()
@@ -185,7 +221,7 @@ pub fn evaluate_job_design(
         option.failure_scope(),
         td.n_active(),
     )?;
-    let (availability, health) = ctx.engine().evaluate_with_health(&model)?;
+    let (availability, health) = ctx.engine().evaluate_with_session(&model, session)?;
     ensure_finite("unavailability", availability.unavailability())?;
 
     // Failure-free computation time, inflated by checkpoint overhead when

@@ -4,19 +4,24 @@
 //! candidate (each one might be a frontier point), so no cost pruning
 //! applies — but the evaluations are independent, which makes the sweep the
 //! best-parallelizing entry point: candidates are enumerated serially,
-//! evaluated across [`SearchOptions::jobs`] workers, and folded back in
-//! enumeration order, so the frontier is identical at any worker count.
+//! evaluated across [`SearchOptions::jobs`] workers (each carrying a
+//! warm-started [`aved_avail::EvalSession`] over its contiguous,
+//! locality-ordered shard), and folded back in enumeration order, so the
+//! frontier is identical at any worker count and with warm starts on or
+//! off.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
+use aved_avail::EvalSession;
 use aved_units::Duration;
 
+use crate::evaluate::{evaluate_enterprise_design_in, evaluate_job_design_in};
 use crate::health::isolate_candidate;
-use crate::parallel::{effective_jobs, parallel_map};
+use crate::parallel::{effective_jobs, parallel_map_with};
 use crate::{
-    enumerate_tier_candidates, evaluate_enterprise_design, evaluate_job_design, EvalContext,
-    EvaluatedDesign, SearchError, SearchHealth, SearchOptions,
+    enumerate_tier_candidates, EvalContext, EvaluatedDesign, SearchError, SearchHealth,
+    SearchOptions,
 };
 
 /// Computes the cost/downtime Pareto frontier of one enterprise tier at a
@@ -91,11 +96,18 @@ pub fn tier_pareto_frontier_with_health(
 
     let solving = Instant::now();
     let abort = AtomicBool::new(false);
-    let outcomes = parallel_map(jobs, &items, |_, (option, td)| {
+    let mut sessions: Vec<EvalSession> = (0..jobs.max(1)).map(|_| EvalSession::new()).collect();
+    let outcomes = parallel_map_with(jobs, &mut sessions, &items, |session, _, (option, td)| {
         if abort.load(Ordering::Relaxed) {
             return None;
         }
-        let result = evaluate_enterprise_design(ctx, option, td, load);
+        let mut cold = EvalSession::new();
+        let session = if options.warm_start {
+            session
+        } else {
+            &mut cold
+        };
+        let result = evaluate_enterprise_design_in(ctx, option, td, load, session);
         if let Err(e) = &result {
             if options.strict || !e.is_candidate_scoped() {
                 abort.store(true, Ordering::Relaxed);
@@ -103,6 +115,9 @@ pub fn tier_pareto_frontier_with_health(
         }
         Some(result)
     });
+    for session in &sessions {
+        health.absorb_session(session.stats());
+    }
     health.solve_time = solving.elapsed();
 
     let merging = Instant::now();
@@ -184,11 +199,18 @@ pub fn job_frontier_with_health(
 
     let solving = Instant::now();
     let abort = AtomicBool::new(false);
-    let outcomes = parallel_map(jobs, &items, |_, (option, td)| {
+    let mut sessions: Vec<EvalSession> = (0..jobs.max(1)).map(|_| EvalSession::new()).collect();
+    let outcomes = parallel_map_with(jobs, &mut sessions, &items, |session, _, (option, td)| {
         if abort.load(Ordering::Relaxed) {
             return None;
         }
-        let result = evaluate_job_design(ctx, option, td);
+        let mut cold = EvalSession::new();
+        let session = if options.warm_start {
+            session
+        } else {
+            &mut cold
+        };
+        let result = evaluate_job_design_in(ctx, option, td, session);
         if let Err(e) = &result {
             if options.strict || !e.is_candidate_scoped() {
                 abort.store(true, Ordering::Relaxed);
@@ -196,6 +218,9 @@ pub fn job_frontier_with_health(
         }
         Some(result)
     });
+    for session in &sessions {
+        health.absorb_session(session.stats());
+    }
     health.solve_time = solving.elapsed();
 
     let merging = Instant::now();
@@ -387,6 +412,33 @@ mod tests {
         assert!(!health.is_degraded());
         assert_eq!(health.candidates_skipped(), 0);
         assert!(health.wall_time > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn warm_start_toggle_leaves_the_frontier_bit_identical() {
+        let fx = app_tier_fixture();
+        let engine = DecompositionEngine::default();
+        let ctx = fx.context(&engine);
+        let (warm, wh) =
+            tier_pareto_frontier_with_health(&ctx, "application", 800.0, &small_opts()).unwrap();
+        let (cold, ch) = tier_pareto_frontier_with_health(
+            &ctx,
+            "application",
+            800.0,
+            &small_opts().without_warm_start(),
+        )
+        .unwrap();
+        assert_eq!(warm.len(), cold.len());
+        for (w, c) in warm.iter().zip(&cold) {
+            assert_eq!(w.design(), c.design());
+            assert_eq!(w.cost(), c.cost());
+            assert_eq!(
+                w.annual_downtime().minutes().to_bits(),
+                c.annual_downtime().minutes().to_bits()
+            );
+        }
+        assert!(wh.warm_solves > 0 && wh.chain_rebuilds_avoided > 0, "{wh}");
+        assert_eq!(ch.warm_solves, 0);
     }
 
     #[test]

@@ -79,6 +79,19 @@ pub struct SearchHealth {
     pub solve_time: std::time::Duration,
     /// Wall-clock time spent merging results and selecting designs.
     pub merge_time: std::time::Duration,
+    /// Steady-state solves run through warm-started evaluation sessions.
+    pub warm_solves: u64,
+    /// Solves that were offered a usable warm-start hint (a previous π of
+    /// matching shape) — the locality hit rate of the candidate ordering.
+    pub warm_hits: u64,
+    /// Chain rebuilds avoided by patching rates into a structurally
+    /// identical cached chain instead of re-exploring the state space.
+    pub chain_rebuilds_avoided: u64,
+    /// Total solver iterations across session solves.
+    pub solver_iterations: u64,
+    /// Iterations saved by warm starts, relative to each chain shape's
+    /// cold-solve baseline.
+    pub iterations_saved: u64,
 }
 
 impl PartialEq for SearchHealth {
@@ -130,6 +143,21 @@ impl SearchHealth {
         self.enumeration_time += other.enumeration_time;
         self.solve_time += other.solve_time;
         self.merge_time += other.merge_time;
+        self.warm_solves += other.warm_solves;
+        self.warm_hits += other.warm_hits;
+        self.chain_rebuilds_avoided += other.chain_rebuilds_avoided;
+        self.solver_iterations += other.solver_iterations;
+        self.iterations_saved += other.iterations_saved;
+    }
+
+    /// Folds one evaluation session's accumulated statistics into this
+    /// report (called once per worker session when a search finishes).
+    pub fn absorb_session(&mut self, stats: &aved_avail::SessionStats) {
+        self.warm_solves += stats.solves;
+        self.warm_hits += stats.warm_hits;
+        self.chain_rebuilds_avoided += stats.rebuilds_avoided;
+        self.solver_iterations += stats.iterations;
+        self.iterations_saved += stats.iterations_saved;
     }
 
     /// Records a candidate skipped because `error` occurred.
@@ -162,6 +190,16 @@ impl std::fmt::Display for SearchHealth {
         }
         if self.jobs > 0 {
             write!(f, ", {} job(s)", self.jobs)?;
+        }
+        if self.warm_solves > 0 {
+            write!(
+                f,
+                ", warm {}/{} hit, {} rebuild(s) avoided, {} iteration(s) saved",
+                self.warm_hits,
+                self.warm_solves,
+                self.chain_rebuilds_avoided,
+                self.iterations_saved
+            )?;
         }
         write!(f, ", {:.1} ms", self.wall_time.as_secs_f64() * 1e3)
     }
@@ -248,6 +286,11 @@ mod tests {
             enumeration_time: ms(1),
             solve_time: ms(3),
             merge_time: ms(1),
+            warm_solves: 20,
+            warm_hits: 15,
+            chain_rebuilds_avoided: 12,
+            solver_iterations: 900,
+            iterations_saved: 300,
         };
         let b = SearchHealth {
             skipped: skip(2),
@@ -261,6 +304,11 @@ mod tests {
             enumeration_time: ms(2),
             solve_time: ms(4),
             merge_time: ms(1),
+            warm_solves: 10,
+            warm_hits: 5,
+            chain_rebuilds_avoided: 3,
+            solver_iterations: 100,
+            iterations_saved: 40,
         };
         a.merge(b);
         assert_eq!(a.candidates_skipped(), 3);
@@ -274,6 +322,38 @@ mod tests {
         assert_eq!(a.enumeration_time, ms(3));
         assert_eq!(a.solve_time, ms(7));
         assert_eq!(a.merge_time, ms(2));
+        assert_eq!(a.warm_solves, 30);
+        assert_eq!(a.warm_hits, 20);
+        assert_eq!(a.chain_rebuilds_avoided, 15);
+        assert_eq!(a.solver_iterations, 1000);
+        assert_eq!(a.iterations_saved, 340);
+    }
+
+    #[test]
+    fn absorbing_session_stats_accumulates_warm_counters() {
+        let mut h = SearchHealth::default();
+        h.absorb_session(&aved_avail::SessionStats {
+            solves: 8,
+            warm_hits: 6,
+            warm_consumed: 5,
+            iterations: 400,
+            iterations_saved: 120,
+            rebuilds_avoided: 7,
+        });
+        h.absorb_session(&aved_avail::SessionStats {
+            solves: 2,
+            warm_hits: 1,
+            warm_consumed: 1,
+            iterations: 100,
+            iterations_saved: 30,
+            rebuilds_avoided: 1,
+        });
+        assert_eq!(h.warm_solves, 10);
+        assert_eq!(h.warm_hits, 7);
+        assert_eq!(h.chain_rebuilds_avoided, 8);
+        assert_eq!(h.solver_iterations, 500);
+        assert_eq!(h.iterations_saved, 150);
+        assert!(!h.is_degraded(), "warm stats are not degradation");
     }
 
     #[test]
@@ -287,6 +367,10 @@ mod tests {
             cache_hits: 9,
             cache_misses: 3,
             jobs: 4,
+            warm_solves: 12,
+            warm_hits: 10,
+            chain_rebuilds_avoided: 8,
+            iterations_saved: 450,
             ..SearchHealth::default()
         };
         let s = h.to_string();
@@ -296,6 +380,9 @@ mod tests {
         assert!(s.contains("7 pruned by cost"), "{s}");
         assert!(s.contains("cache 9/12 hit"), "{s}");
         assert!(s.contains("4 job(s)"), "{s}");
+        assert!(s.contains("warm 10/12 hit"), "{s}");
+        assert!(s.contains("8 rebuild(s) avoided"), "{s}");
+        assert!(s.contains("450 iteration(s) saved"), "{s}");
     }
 
     #[test]
@@ -313,6 +400,9 @@ mod tests {
             cache_misses: 9,
             jobs: 8,
             solve_time: std::time::Duration::from_millis(50),
+            warm_solves: 11,
+            warm_hits: 6,
+            iterations_saved: 1234,
             ..a.clone()
         };
         assert_eq!(a, b, "same decisions, different workload: still equal");

@@ -28,11 +28,21 @@
 //! candidates skipped, solver fallbacks taken, worst accepted residual.
 //!
 //! Searches are also parallel: candidate evaluations fan out across scoped
-//! threads ([`SearchOptions::with_jobs`], `0` = auto-detect), sharing one
-//! [`CachingEngine`] and a dominance-pruning best-cost cell, with results
-//! merged in candidate order so the selected design is bit-identical to the
-//! serial walk at any worker count (see the [`parallel`](parallel_map)
-//! module docs for the argument).
+//! threads ([`SearchOptions::with_jobs`], `0` = auto-detect, requests
+//! clamped to the machine's parallelism), sharing one [`CachingEngine`]
+//! and a dominance-pruning best-cost cell, with results merged in
+//! candidate order so the selected design is bit-identical to the serial
+//! walk at any worker count (see the [`parallel`](parallel_map) module
+//! docs for the argument).
+//!
+//! Searches are warm-started by default: candidate batches stay in
+//! enumeration order — parameter-locality order, where neighbors differ in
+//! one knob — and are sharded contiguously across workers, each carrying an
+//! [`aved_avail::EvalSession`] that reuses chain structure (rate-only
+//! in-place rebuilds) and the previous steady-state vector between
+//! neighboring solves. The selected designs are bit-identical with warm
+//! starts on or off ([`SearchOptions::without_warm_start`] disables them);
+//! [`SearchHealth`] reports the hit rates and iterations saved.
 
 mod cache;
 mod candidate;
@@ -52,12 +62,15 @@ pub use cache::CachingEngine;
 pub use candidate::{enumerate_settings, enumerate_tier_candidates, SearchOptions};
 pub use context::EvalContext;
 pub use error::SearchError;
-pub use evaluate::{evaluate_enterprise_design, evaluate_job_design, EvaluatedDesign};
+pub use evaluate::{
+    evaluate_enterprise_design, evaluate_enterprise_design_in, evaluate_job_design,
+    evaluate_job_design_in, EvaluatedDesign,
+};
 pub use frontier::{
     job_frontier, job_frontier_with_health, tier_pareto_frontier, tier_pareto_frontier_with_health,
 };
 pub use health::{SearchHealth, SkippedCandidate};
 pub use multi_tier::{search_service, search_service_with_health, ServiceDesign};
-pub use parallel::{effective_jobs, parallel_map};
+pub use parallel::{effective_jobs, parallel_map, parallel_map_with};
 pub use sensitivity::{mtbf_sensitivity, scale_mtbfs, SensitivityRow};
 pub use tier_search::{search_job_tier, search_tier, SearchOutcome, SearchStats};

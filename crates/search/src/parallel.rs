@@ -11,6 +11,11 @@
 //!   per-item cost varies by orders of magnitude — and the results are
 //!   merged back **in item order**, so callers fold them exactly as the
 //!   serial loop would have.
+//! * [`parallel_map_with`] additionally hands each worker one mutable
+//!   state for its whole run and shards the items into **contiguous
+//!   chunks** instead of stealing, so a worker's shard is a consecutive
+//!   run of the (parameter-locality-ordered) candidate list — the
+//!   substrate for warm-started evaluation sessions.
 //! * With `jobs <= 1` the map degenerates to an in-order sequential loop on
 //!   the calling thread: the serial path is literally the parallel path at
 //!   width 1, not a separate implementation that could drift.
@@ -36,16 +41,20 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use aved_units::Money;
 
 /// Resolves a requested worker count: `0` means "use the machine's
-/// available parallelism" (the `--jobs` CLI default), anything else is
-/// taken literally.
+/// available parallelism" (the `--jobs` CLI default); any other request is
+/// clamped to the machine's available parallelism. Oversubscribing compute-
+/// bound solver workers onto fewer cores only adds context-switch and
+/// cache-thrash overhead — on a 1-CPU box, `--jobs 8` used to run ~20%
+/// *slower* than serial; now it degenerates to the inline serial path.
 #[must_use]
 pub fn effective_jobs(requested: usize) -> usize {
+    let cpus = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
     if requested > 0 {
-        requested
+        requested.min(cpus)
     } else {
-        std::thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(1)
+        cpus
     }
 }
 
@@ -100,6 +109,88 @@ where
         .collect()
 }
 
+/// Like [`parallel_map`], but each worker additionally borrows one mutable
+/// state from `states` for its whole run — the hook that threads
+/// warm-start evaluation sessions through the search workers.
+///
+/// Work is split into **contiguous chunks** (worker `w` gets items
+/// `[w·⌈n/k⌉, (w+1)·⌈n/k⌉)`), not stolen item-by-item: the candidate lists
+/// the search produces are in parameter-locality order (neighboring items
+/// differ in one knob), and a worker whose shard is a consecutive run of
+/// that order sees a chain of near-identical models — exactly what its
+/// session's warm starts and in-place rebuilds exploit. The price is load
+/// balance on skewed items; candidate evaluations within one batch are
+/// near-uniform, so locality wins.
+///
+/// Results come back in item order, so callers fold them exactly as the
+/// serial loop would. With `jobs <= 1` or a single item the map runs
+/// sequentially on the calling thread using `states[0]`, preserving the
+/// serial-is-parallel-at-width-1 property. Unused states (when there are
+/// fewer chunks than states) are simply not touched.
+///
+/// # Panics
+///
+/// Panics if `states` has fewer than `min(jobs, items.len()).max(1)`
+/// entries, and propagates panics from worker threads.
+pub fn parallel_map_with<T, R, S, F>(jobs: usize, states: &mut [S], items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    S: Send,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let workers = jobs.min(items.len());
+    if workers <= 1 {
+        assert!(
+            !states.is_empty(),
+            "parallel_map_with needs at least one worker state"
+        );
+        let state = &mut states[0];
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(state, i, t))
+            .collect();
+    }
+    assert!(
+        states.len() >= workers,
+        "parallel_map_with needs one state per worker ({} < {workers})",
+        states.len()
+    );
+    let chunk = items.len().div_ceil(workers);
+    // Workers move their `&mut S` in but only borrow `f` (a `&F` is `Send`
+    // because `F: Sync`).
+    let f = &f;
+    let mut per_worker: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = states[..workers]
+            .iter_mut()
+            .enumerate()
+            .map(|(w, state)| {
+                let start = w * chunk;
+                let end = (start + chunk).min(items.len());
+                scope.spawn(move || {
+                    items[start..end]
+                        .iter()
+                        .enumerate()
+                        .map(|(off, t)| f(state, start + off, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("search worker panicked"))
+            .collect()
+    });
+    // Chunks are contiguous and in worker order, so concatenation *is*
+    // item order.
+    let mut out = Vec::with_capacity(items.len());
+    for part in &mut per_worker {
+        out.append(part);
+    }
+    out
+}
+
 /// The cheapest known-feasible cost, shared across search workers for
 /// dominance pruning.
 ///
@@ -136,10 +227,16 @@ mod tests {
     use super::*;
 
     #[test]
-    fn effective_jobs_resolves_zero_to_at_least_one() {
-        assert!(effective_jobs(0) >= 1);
+    fn effective_jobs_resolves_zero_and_clamps_to_the_machine() {
+        let cpus = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        assert_eq!(effective_jobs(0), cpus);
         assert_eq!(effective_jobs(1), 1);
-        assert_eq!(effective_jobs(7), 7);
+        // Requests are capped at the machine's parallelism: solver workers
+        // are compute-bound, so oversubscription can only slow things down.
+        assert_eq!(effective_jobs(7), 7.min(cpus));
+        assert_eq!(effective_jobs(usize::MAX), cpus);
     }
 
     #[test]
@@ -173,6 +270,64 @@ mod tests {
             assert!(*x != 13, "boom");
             *x
         });
+    }
+
+    #[test]
+    fn map_with_preserves_item_order_at_any_width() {
+        let items: Vec<u64> = (0..103).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for jobs in [1, 2, 3, 8, 200] {
+            let mut states = vec![0_u64; jobs.max(1)];
+            let got = parallel_map_with(jobs, &mut states, &items, |s, _, x| {
+                *s += 1;
+                x * x
+            });
+            assert_eq!(got, expect, "jobs={jobs}");
+            assert_eq!(
+                states.iter().sum::<u64>(),
+                items.len() as u64,
+                "every item visits exactly one worker state (jobs={jobs})"
+            );
+        }
+    }
+
+    #[test]
+    fn map_with_gives_each_worker_a_contiguous_locality_chunk() {
+        let items: Vec<usize> = (0..20).collect();
+        let mut states: Vec<Vec<usize>> = vec![Vec::new(); 4];
+        let _ = parallel_map_with(4, &mut states, &items, |seen, i, _| seen.push(i));
+        for seen in &states {
+            for pair in seen.windows(2) {
+                assert_eq!(
+                    pair[1],
+                    pair[0] + 1,
+                    "a worker's shard must be a consecutive run of the item order"
+                );
+            }
+        }
+        let mut all: Vec<usize> = states.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, items, "chunks must partition the items");
+    }
+
+    #[test]
+    fn map_with_runs_inline_on_the_first_state_when_serial() {
+        let items = [10_u32, 20, 30];
+        let mut states = vec![0_u32, 99];
+        let got = parallel_map_with(1, &mut states, &items, |s, _, x| {
+            *s += x;
+            *x
+        });
+        assert_eq!(got, vec![10, 20, 30]);
+        assert_eq!(states, vec![60, 99], "only the first state is touched");
+    }
+
+    #[test]
+    #[should_panic(expected = "one state per worker")]
+    fn map_with_rejects_too_few_states() {
+        let items: Vec<u32> = (0..10).collect();
+        let mut states = vec![(); 1];
+        let _ = parallel_map_with(4, &mut states, &items, |(), _, x| *x);
     }
 
     #[test]

@@ -1,11 +1,16 @@
 //! The per-tier search algorithm of paper §4.1.
 //!
 //! Each resource-count level is evaluated as a batch: candidates are
-//! enumerated and cost-sorted serially (cheap), fanned out across
-//! [`SearchOptions::jobs`] scoped threads for the expensive availability
-//! evaluations, then folded back **in candidate order** to select the
-//! winner — so the selected design is identical at any worker count. A
-//! shared [`BestCost`] cell lets workers skip candidates that already cost
+//! enumerated serially (cheap) and kept in **enumeration order** — which
+//! is parameter-locality order: neighboring candidates differ in one knob
+//! (one more spare, the next maintenance level). The batch fans out across
+//! [`SearchOptions::jobs`] scoped threads in contiguous shards, so each
+//! worker's warm-started [`aved_avail::EvalSession`] sees a chain of
+//! near-identical models and reuses chain structure and steady-state
+//! vectors from one candidate to the next. Results are folded back **in
+//! candidate order** to select the winner — so the selected design is
+//! identical at any worker count and with warm starts on or off. A shared
+//! [`BestCost`] cell lets workers skip candidates that already cost
 //! strictly more than a known-feasible design (dominance pruning; see
 //! [`crate::parallel`](crate::parallel_map) for why neither changes the
 //! result).
@@ -13,14 +18,24 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
+use aved_avail::EvalSession;
 use aved_units::Duration;
 
+use crate::evaluate::{evaluate_enterprise_design_in, evaluate_job_design_in};
 use crate::health::isolate_candidate;
-use crate::parallel::{effective_jobs, parallel_map, BestCost};
+use crate::parallel::{effective_jobs, parallel_map_with, BestCost};
 use crate::{
-    enumerate_tier_candidates, evaluate_enterprise_design, evaluate_job_design, EvalContext,
-    EvaluatedDesign, SearchError, SearchHealth, SearchOptions,
+    enumerate_tier_candidates, EvalContext, EvaluatedDesign, SearchError, SearchHealth,
+    SearchOptions,
 };
+
+/// Builds one fresh evaluation session per worker. When warm starts are
+/// disabled the sessions still exist (the executor needs per-worker
+/// states) but every candidate gets a throwaway session, so nothing is
+/// carried between solves.
+fn worker_sessions(jobs: usize) -> Vec<EvalSession> {
+    (0..jobs.max(1)).map(|_| EvalSession::new()).collect()
+}
 
 /// What happened to one candidate of a level batch, in the worker.
 ///
@@ -158,6 +173,10 @@ pub fn search_tier(
     // The cheapest feasible cost any worker has proven, across the whole
     // search; mirrors `best.cost()` but is shared lock-free with workers.
     let best_cost = BestCost::new();
+    // One warm-start session per worker, reused across every level batch of
+    // every option: chain shapes recur between levels (same n/m/s splits
+    // with different rates), so the sessions keep paying off search-wide.
+    let mut sessions = worker_sessions(jobs);
 
     for option in tier.options() {
         let perf = ctx.catalog().resolve_perf(option.performance())?;
@@ -187,56 +206,66 @@ pub fn search_tier(
             }
             stats.totals_explored += 1;
 
-            // Cost is cheap: compute for all candidates and sort ascending
-            // so pruning can stop at the first over-budget candidate.
-            let mut costed: Vec<(aved_units::Money, &aved_model::TierDesign)> = candidates
+            // Cost is cheap: compute it for every candidate up front. The
+            // batch stays in enumeration (parameter-locality) order — the
+            // win rule below compares cost explicitly, so a cost sort would
+            // only destroy the locality the warm-start sessions feed on.
+            let costed: Vec<(aved_units::Money, &aved_model::TierDesign)> = candidates
                 .iter()
                 .map(|td| {
                     stats.cost_evaluations += 1;
                     aved_model::tier_design_cost(ctx.infrastructure(), td).map(|c| (c.total(), td))
                 })
                 .collect::<Result<_, _>>()?;
-            costed.sort_by(|a, b| a.0.total_cmp(&b.0));
             health.enumeration_time += enumerating.elapsed();
 
             // Termination: every candidate at this count (and, since cost
             // grows with the count, at later counts) costs more than the
             // incumbent.
             if let Some(b) = &best {
-                if costed.first().is_some_and(|(c, _)| *c > b.cost()) {
+                let cheapest = costed.iter().map(|(c, _)| *c).min_by(|a, b| a.total_cmp(b));
+                if cheapest.is_some_and(|c| c > b.cost()) {
                     break;
                 }
             }
 
-            // Fan the level out: workers prune against the shared cell
-            // (strictly more expensive candidates cannot win; equal cost
-            // still competes on downtime), evaluate the rest, and publish
-            // feasible costs so other workers prune harder.
+            // Fan the level out in contiguous shards: workers prune against
+            // the shared cell (strictly more expensive candidates cannot
+            // win; equal cost still competes on downtime), evaluate the
+            // rest through their warm session, and publish feasible costs
+            // so other workers prune harder.
             let solving = Instant::now();
             let abort = AtomicBool::new(false);
-            let outcomes = parallel_map(jobs, &costed, |_, &(cost, td)| {
-                if abort.load(Ordering::Relaxed) {
-                    return CandidateOutcome::Aborted;
-                }
-                if options.prune && best_cost.beats(cost) {
-                    return CandidateOutcome::Pruned;
-                }
-                let result = evaluate_enterprise_design(ctx, option, td, load);
-                match &result {
-                    Ok(Some(e)) if e.annual_downtime() <= max_downtime => {
-                        best_cost.offer(e.cost());
+            let outcomes =
+                parallel_map_with(jobs, &mut sessions, &costed, |session, _, &(cost, td)| {
+                    if abort.load(Ordering::Relaxed) {
+                        return CandidateOutcome::Aborted;
                     }
-                    Err(e) if options.strict || !e.is_candidate_scoped() => {
-                        abort.store(true, Ordering::Relaxed);
+                    if options.prune && best_cost.beats(cost) {
+                        return CandidateOutcome::Pruned;
                     }
-                    _ => {}
-                }
-                CandidateOutcome::Evaluated(result)
-            });
+                    let mut cold = EvalSession::new();
+                    let session = if options.warm_start {
+                        session
+                    } else {
+                        &mut cold
+                    };
+                    let result = evaluate_enterprise_design_in(ctx, option, td, load, session);
+                    match &result {
+                        Ok(Some(e)) if e.annual_downtime() <= max_downtime => {
+                            best_cost.offer(e.cost());
+                        }
+                        Err(e) if options.strict || !e.is_candidate_scoped() => {
+                            abort.store(true, Ordering::Relaxed);
+                        }
+                        _ => {}
+                    }
+                    CandidateOutcome::Evaluated(result)
+                });
             health.solve_time += solving.elapsed();
 
             // Deterministic merge: every decision happens here, folding
-            // outcomes in candidate (cost-sorted) order.
+            // outcomes in candidate (enumeration) order.
             let merging = Instant::now();
             let mut best_quality_here: Option<Duration> = None;
             for ((_, td), outcome) in costed.iter().zip(outcomes) {
@@ -290,6 +319,9 @@ pub fn search_tier(
         }
     }
 
+    for session in &sessions {
+        health.absorb_session(session.stats());
+    }
     health.wall_time = started.elapsed();
     Ok(match best {
         Some(best) => SearchOutcome::Found {
@@ -333,6 +365,7 @@ pub fn search_job_tier(
     };
     let mut best: Option<EvaluatedDesign> = None;
     let best_cost = BestCost::new();
+    let mut sessions = worker_sessions(jobs);
 
     for option in tier.options() {
         let perf = ctx.catalog().resolve_perf(option.performance())?;
@@ -375,18 +408,19 @@ pub fn search_job_tier(
                 continue;
             }
             stats.totals_explored += 1;
-            let mut costed: Vec<(aved_units::Money, &aved_model::TierDesign)> = candidates
+            // Enumeration (locality) order, as in `search_tier`.
+            let costed: Vec<(aved_units::Money, &aved_model::TierDesign)> = candidates
                 .iter()
                 .map(|td| {
                     stats.cost_evaluations += 1;
                     aved_model::tier_design_cost(ctx.infrastructure(), td).map(|c| (c.total(), td))
                 })
                 .collect::<Result<_, _>>()?;
-            costed.sort_by(|a, b| a.0.total_cmp(&b.0));
             health.enumeration_time += enumerating.elapsed();
 
             if let Some(b) = &best {
-                if costed.first().is_some_and(|(c, _)| *c > b.cost()) {
+                let cheapest = costed.iter().map(|(c, _)| *c).min_by(|a, b| a.total_cmp(b));
+                if cheapest.is_some_and(|c| c > b.cost()) {
                     break;
                 }
             }
@@ -398,28 +432,35 @@ pub fn search_job_tier(
             // candidates.
             let solving = Instant::now();
             let abort = AtomicBool::new(false);
-            let outcomes = parallel_map(jobs, &costed, |_, &(cost, td)| {
-                if abort.load(Ordering::Relaxed) {
-                    return CandidateOutcome::Aborted;
-                }
-                if options.prune && best_cost.beats(cost) {
-                    return CandidateOutcome::Pruned;
-                }
-                let result = evaluate_job_design(ctx, option, td);
-                match &result {
-                    Ok(Some(e))
-                        if e.expected_job_time()
-                            .is_some_and(|t| t <= max_execution_time) =>
-                    {
-                        best_cost.offer(e.cost());
+            let outcomes =
+                parallel_map_with(jobs, &mut sessions, &costed, |session, _, &(cost, td)| {
+                    if abort.load(Ordering::Relaxed) {
+                        return CandidateOutcome::Aborted;
                     }
-                    Err(e) if options.strict || !e.is_candidate_scoped() => {
-                        abort.store(true, Ordering::Relaxed);
+                    if options.prune && best_cost.beats(cost) {
+                        return CandidateOutcome::Pruned;
                     }
-                    _ => {}
-                }
-                CandidateOutcome::Evaluated(result)
-            });
+                    let mut cold = EvalSession::new();
+                    let session = if options.warm_start {
+                        session
+                    } else {
+                        &mut cold
+                    };
+                    let result = evaluate_job_design_in(ctx, option, td, session);
+                    match &result {
+                        Ok(Some(e))
+                            if e.expected_job_time()
+                                .is_some_and(|t| t <= max_execution_time) =>
+                        {
+                            best_cost.offer(e.cost());
+                        }
+                        Err(e) if options.strict || !e.is_candidate_scoped() => {
+                            abort.store(true, Ordering::Relaxed);
+                        }
+                        _ => {}
+                    }
+                    CandidateOutcome::Evaluated(result)
+                });
             health.solve_time += solving.elapsed();
 
             let merging = Instant::now();
@@ -480,6 +521,9 @@ pub fn search_job_tier(
         }
     }
 
+    for session in &sessions {
+        health.absorb_session(session.stats());
+    }
     health.wall_time = started.elapsed();
     Ok(match best {
         Some(best) => SearchOutcome::Found {
@@ -495,7 +539,7 @@ pub fn search_job_tier(
 mod tests {
     use super::*;
     use crate::test_fixtures::{app_tier_fixture, job_fixture};
-    use crate::CachingEngine;
+    use crate::{evaluate_enterprise_design, CachingEngine};
     use aved_avail::DecompositionEngine;
     use aved_model::ParamValue;
     use aved_units::Duration;
@@ -847,8 +891,45 @@ mod tests {
             assert_eq!(s.cost(), p.cost(), "jobs={jobs}");
             assert_eq!(s.design(), p.design(), "jobs={jobs}");
             assert_eq!(s.annual_downtime(), p.annual_downtime(), "jobs={jobs}");
-            assert_eq!(parallel.health().jobs, jobs);
+            assert_eq!(parallel.health().jobs, effective_jobs(jobs));
         }
+    }
+
+    #[test]
+    fn warm_start_toggle_never_changes_the_winner() {
+        let fx = app_tier_fixture();
+        let engine = DecompositionEngine::default();
+        let ctx = fx.context(&engine);
+        let load = 800.0;
+        let budget = Duration::from_mins(500.0);
+        let warm = search_tier(&ctx, "application", load, budget, &opts()).unwrap();
+        let cold = search_tier(
+            &ctx,
+            "application",
+            load,
+            budget,
+            &opts().without_warm_start(),
+        )
+        .unwrap();
+        let (w, c) = (warm.best().unwrap(), cold.best().unwrap());
+        assert_eq!(w.cost(), c.cost());
+        assert_eq!(w.design(), c.design());
+        assert_eq!(
+            w.annual_downtime().minutes().to_bits(),
+            c.annual_downtime().minutes().to_bits(),
+            "warm starts must be bit-identical, not just close"
+        );
+        assert!(warm.health().warm_solves > 0, "{}", warm.health());
+        assert!(
+            warm.health().chain_rebuilds_avoided > 0,
+            "locality order must make chains recur: {}",
+            warm.health()
+        );
+        assert_eq!(
+            cold.health().warm_solves,
+            0,
+            "disabled warm starts leave the worker sessions untouched"
+        );
     }
 
     #[test]
