@@ -1,7 +1,7 @@
 //! The reference engine: a truncated multi-class CTMC with failover
 //! transients.
 
-use aved_markov::{explore, Explored, FallbackSolver, SolveScratch};
+use aved_markov::{explore_budgeted, Explored, FallbackSolver, SolveBudget, SolveScratch};
 use aved_units::Rate;
 
 use crate::session::{CachedChain, ChainKey};
@@ -224,15 +224,29 @@ impl CtmcEngine {
     /// Builds and explores the tier chain (exposed for tests and the
     /// decomposition engine).
     pub(crate) fn explore_chain(&self, model: &TierModel) -> Result<Explored<St>, AvailError> {
+        self.explore_chain_budgeted(model, &SolveBudget::unlimited())
+    }
+
+    /// [`Self::explore_chain`] under a cooperative [`SolveBudget`]: the
+    /// breadth-first frontier polls the budget's state, byte, deadline and
+    /// cancellation limits while it grows.
+    pub(crate) fn explore_chain_budgeted(
+        &self,
+        model: &TierModel,
+        budget: &SolveBudget,
+    ) -> Result<Explored<St>, AvailError> {
         let cap = self.max_concurrent.min(model.n_total());
         let n_classes = model.classes().len();
         let initial = St {
             failed: vec![0; n_classes],
             failover: None,
         };
-        let explored = explore(initial, 2_000_000, |st: &St| {
-            self.successor_rates(model, cap, st)
-        })?;
+        let explored = explore_budgeted(
+            initial,
+            2_000_000,
+            |st: &St| self.successor_rates(model, cap, st),
+            budget,
+        )?;
         Ok(explored)
     }
 
@@ -245,6 +259,7 @@ impl CtmcEngine {
         cached: &mut CachedChain,
         session_scratch: &mut SolveScratch,
         stats: &mut SessionStats,
+        budget: &SolveBudget,
     ) -> Result<(TierAvailability, EvalHealth), AvailError> {
         let ctmc = cached.explored.ctmc();
         // Resilient solve: dense first below the cutover (exact and fastest
@@ -261,7 +276,7 @@ impl CtmcEngine {
         let solver = FallbackSolver::default()
             .with_dense_preferred_below(self.dense_cutover + 1)
             .with_irreducibility_assumed(hint.is_some());
-        let (pi, diagnostics) = solver.solve_warm(ctmc, hint, session_scratch);
+        let (pi, diagnostics) = solver.solve_warm_budgeted(ctmc, hint, session_scratch, budget);
         let pi = pi?;
 
         stats.solves += 1;
@@ -350,12 +365,17 @@ impl AvailabilityEngine for CtmcEngine {
             scratch,
             chains,
             stats,
+            budget,
         } = session;
+        // Per-candidate view of the session budget: a candidate timeout
+        // restarts its clock here, while the global deadline, caps and
+        // cancellation token carry over unchanged.
+        let budget = budget.for_candidate();
 
         let Some(key) = ChainKey::for_model(model, cap) else {
             // Shape too wide for a key (>64 classes): evaluate uncached but
             // still through the shared solve path and scratch arena.
-            let explored = self.explore_chain(model)?;
+            let explored = self.explore_chain_budgeted(model, &budget)?;
             let down = self.down_mask(model, &explored);
             let mut local = CachedChain {
                 explored,
@@ -363,7 +383,7 @@ impl AvailabilityEngine for CtmcEngine {
                 pi: Vec::new(),
                 cold_iterations: None,
             };
-            return self.evaluate_chain(&mut local, scratch, stats);
+            return self.evaluate_chain(&mut local, scratch, stats, &budget);
         };
 
         // Same shape seen before: patch the cached chain's rates in place
@@ -379,7 +399,7 @@ impl AvailabilityEngine for CtmcEngine {
         if repatched {
             stats.rebuilds_avoided += 1;
         } else {
-            let explored = self.explore_chain(model)?;
+            let explored = self.explore_chain_budgeted(model, &budget)?;
             let down = self.down_mask(model, &explored);
             chains.insert(
                 key.clone(),
@@ -392,7 +412,7 @@ impl AvailabilityEngine for CtmcEngine {
             );
         }
         let cached = chains.get_mut(&key).expect("entry inserted above");
-        self.evaluate_chain(cached, scratch, stats)
+        self.evaluate_chain(cached, scratch, stats, &budget)
     }
 }
 
@@ -717,6 +737,57 @@ mod tests {
         }
         assert_eq!(session.cached_chains(), 2);
         assert_eq!(session.stats().rebuilds_avoided, 6);
+    }
+
+    #[test]
+    fn session_budget_governs_exploration_and_solving() {
+        use aved_markov::{CancelToken, MarkovError};
+        let model = rate_sweep(0);
+        let engine = CtmcEngine::default();
+
+        // A tiny state cap trips during exploration, surfaced as a
+        // budget-exhaustion error (not the legacy truncation error).
+        let mut starved = EvalSession::new()
+            .with_budget(aved_markov::SolveBudget::unlimited().with_max_states(3));
+        let err = engine
+            .evaluate_with_session(&model, &mut starved)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                crate::AvailError::Markov(MarkovError::BudgetExhausted { .. })
+            ),
+            "{err:?}"
+        );
+
+        // A cancelled token aborts before any work happens.
+        let token = CancelToken::new();
+        token.cancel();
+        let mut cancelled = EvalSession::new()
+            .with_budget(aved_markov::SolveBudget::unlimited().with_cancel(token));
+        let err = engine
+            .evaluate_with_session(&model, &mut cancelled)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                crate::AvailError::Markov(MarkovError::Cancelled { .. })
+            ),
+            "{err:?}"
+        );
+
+        // The default (unlimited) session budget reproduces the one-shot
+        // result bit for bit.
+        let mut unlimited = EvalSession::new();
+        let governed = engine
+            .evaluate_with_session(&model, &mut unlimited)
+            .unwrap()
+            .0;
+        let one_shot = engine.evaluate_with_health(&model).unwrap().0;
+        assert_eq!(
+            governed.unavailability().to_bits(),
+            one_shot.unavailability().to_bits()
+        );
     }
 
     #[test]

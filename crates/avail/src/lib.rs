@@ -44,6 +44,7 @@ mod session;
 mod shared;
 mod tier_model;
 
+pub use aved_markov::{BudgetResource, CancelToken, SolveBudget};
 pub use derive::{derive_tier_model, loss_window, required_active};
 pub use engine::{AvailabilityEngine, EvalHealth, TierAvailability};
 pub use engine_ctmc::CtmcEngine;

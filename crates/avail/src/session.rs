@@ -18,7 +18,7 @@
 
 use std::collections::HashMap;
 
-use aved_markov::{Explored, SolveScratch};
+use aved_markov::{Explored, SolveBudget, SolveScratch};
 
 use crate::engine_ctmc::St;
 use crate::TierModel;
@@ -142,13 +142,38 @@ pub struct EvalSession {
     pub(crate) scratch: SolveScratch,
     pub(crate) chains: HashMap<ChainKey, CachedChain>,
     pub(crate) stats: SessionStats,
+    pub(crate) budget: SolveBudget,
 }
 
 impl EvalSession {
-    /// Creates an empty session.
+    /// Creates an empty session with an unlimited budget.
     #[must_use]
     pub fn new() -> EvalSession {
         EvalSession::default()
+    }
+
+    /// Sets the resource budget governing every evaluation run through this
+    /// session (builder form). The default is unlimited.
+    ///
+    /// Engines derive a per-candidate budget from it at the start of each
+    /// `evaluate_with_session` call (see [`SolveBudget::for_candidate`]), so
+    /// a per-candidate timeout restarts for every evaluation while a global
+    /// deadline or cancellation token keeps counting across them.
+    #[must_use]
+    pub fn with_budget(mut self, budget: SolveBudget) -> EvalSession {
+        self.budget = budget;
+        self
+    }
+
+    /// Replaces the session's resource budget in place.
+    pub fn set_budget(&mut self, budget: SolveBudget) {
+        self.budget = budget;
+    }
+
+    /// The resource budget governing evaluations in this session.
+    #[must_use]
+    pub fn budget(&self) -> &SolveBudget {
+        &self.budget
     }
 
     /// The work-avoidance counters accumulated so far.

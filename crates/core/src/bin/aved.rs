@@ -29,6 +29,9 @@ const EXIT_SPEC: u8 = 3;
 const EXIT_INFEASIBLE: u8 = 4;
 /// Exit code for evaluation-engine or search failures.
 const EXIT_ENGINE: u8 = 5;
+/// Exit code for searches stopped early (deadline or signal) that report
+/// their best-so-far result instead of covering the whole design space.
+const EXIT_INTERRUPTED: u8 = 6;
 
 /// A CLI failure: a distinct exit code plus the full error source chain.
 struct CliError {
@@ -89,6 +92,14 @@ impl CliError {
             chain: Vec::new(),
         }
     }
+
+    fn interrupted(message: impl Into<String>) -> CliError {
+        CliError {
+            code: EXIT_INTERRUPTED,
+            message: message.into(),
+            chain: Vec::new(),
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -117,13 +128,17 @@ usage:
                --max-execution-time DUR)
               [--engine ctmc|decomp|sim] [--max-spares N] [--max-extra N]
               [--jobs N] [--pin MECH.PARAM=VALUE]... [--explain] [--strict]
+              [GOVERNANCE]
   aved check  --infrastructure FILE [--service FILE]
   aved dump   --infrastructure FILE
   aved sweep  (--paper-ecommerce | --infrastructure FILE --service FILE)
               --tier NAME --load UNITS [--max-spares N] [--max-extra N]
-              [--jobs N] [--pin MECH.PARAM=VALUE]...
+              [--jobs N] [--pin MECH.PARAM=VALUE]... [GOVERNANCE]
   aved export-markov --infrastructure FILE --resource NAME
               --active N --min N [--spares N] [--pin MECH.PARAM=VALUE]...
+
+GOVERNANCE = [--candidate-timeout DUR] [--max-states N]
+             [--search-deadline DUR] [--journal FILE] [--resume FILE]
 
 durations use the spec syntax: 30s, 2m, 8h, 650d
 
@@ -133,8 +148,61 @@ available CPU); the selected design is identical at any worker count.
 --strict aborts a search on the first evaluation failure instead of
 skipping the failing candidate and reporting it in the health summary.
 
+--candidate-timeout and --max-states bound each candidate's solve; a
+candidate that exhausts its budget is skipped and reported (or aborts
+the run under --strict). --search-deadline bounds the whole sweep:
+when it passes — or on SIGINT/SIGTERM — workers drain at the next
+candidate boundary, the best design found so far is printed, and the
+process exits with code 6.
+
+--journal FILE checkpoints every candidate outcome to an append-only
+file as the sweep runs; --resume FILE replays such a journal so an
+interrupted sweep continues where it stopped and provably selects the
+same winner. The same path may be passed to both.
+
 exit codes: 0 success, 2 usage, 3 unreadable/unparsable model files,
-4 no feasible design, 5 evaluation-engine failure";
+4 no feasible design, 5 evaluation-engine failure,
+6 search interrupted (best-so-far result printed)";
+
+/// Hooks SIGINT/SIGTERM to a [`CancelToken`](aved::avail::CancelToken) so
+/// an interrupted sweep drains at the next candidate boundary — flushing
+/// its journal and printing the best design so far — instead of dying
+/// mid-write.
+#[cfg(unix)]
+mod signals {
+    use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+    use std::sync::Arc;
+
+    /// The cancel flag the handler trips. The `Arc` is leaked on install:
+    /// a signal handler outlives every scope, so its flag must too.
+    static CANCEL_FLAG: AtomicPtr<AtomicBool> = AtomicPtr::new(std::ptr::null_mut());
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        /// POSIX `signal(2)`, declared directly: the workspace vendors no
+        /// libc crate, and registering two handlers needs nothing more.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn trip(_signum: i32) {
+        // Async-signal-safe: a single atomic store, no allocation, no locks.
+        let flag = CANCEL_FLAG.load(Ordering::Acquire);
+        if !flag.is_null() {
+            unsafe { (*flag).store(true, Ordering::Release) };
+        }
+    }
+
+    pub fn install(token: &aved::avail::CancelToken) {
+        let raw = Arc::into_raw(Arc::clone(token.flag()));
+        CANCEL_FLAG.store(raw.cast_mut(), Ordering::Release);
+        unsafe {
+            signal(SIGINT, trip);
+            signal(SIGTERM, trip);
+        }
+    }
+}
 
 struct Flags<'a> {
     args: &'a [String],
@@ -211,6 +279,16 @@ fn parse_duration(s: &str) -> Result<Duration, CliError> {
         .map_err(|e: aved::units::ParseDurationError| CliError::usage(e.to_string()))
 }
 
+/// Parses a spec-syntax duration into the `std` duration the budget layer
+/// speaks.
+fn parse_std_duration(s: &str) -> Result<std::time::Duration, CliError> {
+    let d = parse_duration(s)?;
+    if !d.seconds().is_finite() || d.seconds() < 0.0 {
+        return Err(CliError::usage(format!("bad duration {s:?}")));
+    }
+    Ok(std::time::Duration::from_secs_f64(d.seconds()))
+}
+
 fn design(flags: &Flags<'_>) -> Result<(), CliError> {
     let infrastructure = load_infrastructure(flags)?;
     let service = load_service(flags)?;
@@ -254,11 +332,21 @@ fn design(flags: &Flags<'_>) -> Result<(), CliError> {
         other => return Err(CliError::usage(format!("unknown engine {other:?}"))),
     }
 
-    match aved
-        .design(&service, &requirement)
-        .map_err(|e| CliError::engine(&e))?
-    {
-        None => Err(CliError::infeasible()),
+    let (report, health) = aved
+        .design_with_health(&service, &requirement)
+        .map_err(|e| CliError::engine(&e))?;
+    match report {
+        None => {
+            report_health(&health);
+            report_stats(&health);
+            if health.interrupted {
+                return Err(CliError::interrupted(
+                    "search interrupted before finding a feasible design; \
+                     rerun with --resume, a longer --search-deadline, or no deadline",
+                ));
+            }
+            Err(CliError::infeasible())
+        }
         Some(report) => {
             println!("minimum-cost design: {} per year", report.cost());
             if let Some(dt) = report.annual_downtime() {
@@ -276,6 +364,12 @@ fn design(flags: &Flags<'_>) -> Result<(), CliError> {
                 let text = aved::explain_design(aved.infrastructure(), &service, &report)
                     .map_err(|e| CliError::engine(&e))?;
                 println!("\n{text}");
+            }
+            if report.health().interrupted {
+                return Err(CliError::interrupted(
+                    "search interrupted before covering the design space; \
+                     the design above is the best found so far",
+                ));
             }
             Ok(())
         }
@@ -317,6 +411,46 @@ fn parse_search_options(flags: &Flags<'_>) -> Result<SearchOptions, CliError> {
         None => 0,
     };
     options.strict = flags.has("--strict");
+    if let Some(v) = flags.value("--candidate-timeout") {
+        options = options.with_candidate_timeout(parse_std_duration(v)?);
+    }
+    if let Some(v) = flags.value("--max-states") {
+        let n: usize = v
+            .parse()
+            .map_err(|_| CliError::usage("bad --max-states value"))?;
+        options = options.with_max_states(n);
+    }
+    if let Some(v) = flags.value("--search-deadline") {
+        options = options.with_search_deadline(parse_std_duration(v)?);
+    }
+    // Load the replay before creating the journal so that passing the same
+    // path to --resume and --journal reads the old run before truncating.
+    if let Some(path) = flags.value("--resume") {
+        let replay =
+            aved::search::JournalReplay::load(path).map_err(|e| CliError::spec(path, &e))?;
+        if replay.malformed() > 0 {
+            eprintln!(
+                "warning: {path}: ignored {} malformed journal line(s)",
+                replay.malformed()
+            );
+        }
+        eprintln!(
+            "resuming from {path}: {} candidate outcome(s)",
+            replay.len()
+        );
+        options = options.with_resume(std::sync::Arc::new(replay));
+    }
+    if let Some(path) = flags.value("--journal") {
+        let journal =
+            aved::search::SweepJournal::create(path).map_err(|e| CliError::spec(path, &e))?;
+        options = options.with_journal(std::sync::Arc::new(journal));
+    }
+    // Every search is cancellable: SIGINT/SIGTERM stop it at the next
+    // candidate boundary with its best-so-far result (exit code 6).
+    let cancel = aved::avail::CancelToken::new();
+    #[cfg(unix)]
+    signals::install(&cancel);
+    options = options.with_cancel(cancel);
     parse_pins(flags, &mut options)?;
     Ok(options)
 }
@@ -328,6 +462,7 @@ fn report_stats(health: &aved::search::SearchHealth) {
     eprintln!(
         "search: {} job(s), cache {}/{} hit, {} candidate(s) pruned by cost, \
          warm {}/{} hit, {} rebuild(s) avoided, {} iteration(s) saved, \
+         {} budget-exhausted, {} replayed from journal, \
          enumerate {:.1} ms + solve {:.1} ms + merge {:.1} ms (total {:.1} ms)",
         health.jobs,
         health.cache_hits,
@@ -337,6 +472,8 @@ fn report_stats(health: &aved::search::SearchHealth) {
         health.warm_solves,
         health.chain_rebuilds_avoided,
         health.iterations_saved,
+        health.budget_exhausted,
+        health.journal_replayed,
         health.enumeration_time.as_secs_f64() * 1e3,
         health.solve_time.as_secs_f64() * 1e3,
         health.merge_time.as_secs_f64() * 1e3,
@@ -394,17 +531,23 @@ fn sweep(flags: &Flags<'_>) -> Result<(), CliError> {
     report_stats(&health);
     if frontier.is_empty() {
         println!("no design of tier {tier} can support load {load}");
-        return Ok(());
+    } else {
+        println!("cost/downtime frontier of tier {tier} at load {load}:");
+        println!("{:>12} {:>16}   design", "cost ($/y)", "downtime (m/y)");
+        for e in &frontier {
+            println!(
+                "{:>12.0} {:>16.3}   {}",
+                e.cost().dollars(),
+                e.annual_downtime().minutes(),
+                e.design(),
+            );
+        }
     }
-    println!("cost/downtime frontier of tier {tier} at load {load}:");
-    println!("{:>12} {:>16}   design", "cost ($/y)", "downtime (m/y)");
-    for e in &frontier {
-        println!(
-            "{:>12.0} {:>16.3}   {}",
-            e.cost().dollars(),
-            e.annual_downtime().minutes(),
-            e.design(),
-        );
+    if health.interrupted {
+        return Err(CliError::interrupted(
+            "sweep interrupted before covering the design space; \
+             the frontier above holds the points found so far",
+        ));
     }
     Ok(())
 }
@@ -491,6 +634,13 @@ fn check(flags: &Flags<'_>) -> Result<(), CliError> {
                 }
             }
         }
+        // `design` resolves performance references through the paper
+        // catalog (constants always resolve); surface a missing function
+        // here, with the tier named and the reference in the cause chain,
+        // instead of at search time.
+        aved::scenario::catalog()
+            .validate_service(&service)
+            .map_err(|e| CliError::spec("service", &e))?;
         println!(
             "service {} OK: {} tier(s)",
             service.name(),

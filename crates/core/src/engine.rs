@@ -154,6 +154,25 @@ impl Aved {
         service: &Service,
         requirement: &ServiceRequirement,
     ) -> Result<Option<DesignReport>, SearchError> {
+        self.design_with_health(service, requirement)
+            .map(|(report, _)| report)
+    }
+
+    /// Like [`design`](Aved::design), but also returns the
+    /// [`SearchHealth`] of the run itself: an infeasible answer still says
+    /// how degraded the search that produced it was — candidates skipped
+    /// or budget-exhausted, and whether the run was interrupted before
+    /// covering the design space (in which case "infeasible" only means
+    /// "nothing feasible found *so far*").
+    ///
+    /// # Errors
+    ///
+    /// See [`design`](Aved::design).
+    pub fn design_with_health(
+        &self,
+        service: &Service,
+        requirement: &ServiceRequirement,
+    ) -> Result<(Option<DesignReport>, SearchHealth), SearchError> {
         let caching = CachingEngine::new(self.engine.as_ref());
         let ctx = EvalContext::new(&self.infrastructure, service, &self.catalog, &caching);
         match requirement {
@@ -169,13 +188,14 @@ impl Aved {
                 )?;
                 health.cache_hits = caching.hits();
                 health.cache_misses = caching.misses();
-                Ok(found.map(|sd| DesignReport {
+                let report = found.map(|sd| DesignReport {
                     design: sd.to_design(),
                     cost: sd.cost(),
                     annual_downtime: Some(sd.annual_downtime()),
                     expected_job_time: None,
-                    health,
-                }))
+                    health: health.clone(),
+                });
+                Ok((report, health))
             }
             ServiceRequirement::Job { max_execution_time } => {
                 if service.job_size().is_none() {
@@ -197,13 +217,14 @@ impl Aved {
                 let mut health = outcome.health().clone();
                 health.cache_hits = caching.hits();
                 health.cache_misses = caching.misses();
-                Ok(outcome.best().map(|best| DesignReport {
+                let report = outcome.best().map(|best| DesignReport {
                     design: Design::new(vec![best.design().clone()]),
                     cost: best.cost(),
                     annual_downtime: Some(best.annual_downtime()),
                     expected_job_time: best.expected_job_time(),
-                    health,
-                }))
+                    health: health.clone(),
+                });
+                Ok((report, health))
             }
         }
     }

@@ -86,20 +86,12 @@ mod tests {
 
     #[test]
     fn catalog_resolves_every_referenced_function() {
+        // `validate_service` returns a structured error naming the tier
+        // with the unresolved reference as its source; `unwrap` surfaces
+        // both through the Debug rendering if coverage ever regresses.
         let cat = catalog();
         for svc in [ecommerce().unwrap(), scientific().unwrap()] {
-            for tier in svc.tiers() {
-                for opt in tier.options() {
-                    cat.resolve_perf(opt.performance())
-                        .unwrap_or_else(|e| panic!("{}: {e}", tier.name()));
-                    for mu in opt.mechanisms() {
-                        if let Some(name) = mu.mperformance() {
-                            cat.resolve_mperf(name)
-                                .unwrap_or_else(|e| panic!("{}: {e}", tier.name()));
-                        }
-                    }
-                }
-            }
+            cat.validate_service(&svc).unwrap();
         }
     }
 

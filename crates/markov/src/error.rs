@@ -70,6 +70,29 @@ pub enum MarkovError {
         /// Human-readable description of the rejected parameter.
         detail: String,
     },
+    /// A cooperative resource budget was exhausted mid-computation. Unlike
+    /// [`TimedOut`](MarkovError::TimedOut) (a solver's own per-attempt
+    /// allowance) this names the externally-imposed
+    /// [`SolveBudget`](crate::SolveBudget) limit that tripped.
+    BudgetExhausted {
+        /// The phase that hit the limit (`"explore"`, `"gauss-seidel"`,
+        /// `"power"`, `"search"`, ...).
+        phase: &'static str,
+        /// Which resource ran out.
+        resource: crate::BudgetResource,
+        /// Progress made at the cutoff, in the phase's own unit (states
+        /// explored, sweeps performed, bytes consumed, elapsed work).
+        progress: u64,
+        /// The configured limit, in the same unit (`0` when the limit is a
+        /// point in time rather than a count).
+        limit: u64,
+    },
+    /// The computation was cancelled via a
+    /// [`CancelToken`](crate::CancelToken) before it finished.
+    Cancelled {
+        /// The phase that observed the cancellation.
+        phase: &'static str,
+    },
 }
 
 impl fmt::Display for MarkovError {
@@ -115,6 +138,22 @@ impl fmt::Display for MarkovError {
             }
             MarkovError::InvalidSolverConfig { detail } => {
                 write!(f, "invalid solver configuration: {detail}")
+            }
+            MarkovError::BudgetExhausted {
+                phase,
+                resource,
+                progress,
+                limit,
+            } => {
+                write!(f, "{phase} exhausted its {resource} budget")?;
+                if *limit > 0 {
+                    write!(f, " ({progress} of {limit})")
+                } else {
+                    write!(f, " after {progress} unit(s) of progress")
+                }
+            }
+            MarkovError::Cancelled { phase } => {
+                write!(f, "{phase} cancelled before completion")
             }
         }
     }
@@ -176,6 +215,16 @@ mod tests {
                 },
                 "configuration",
             ),
+            (
+                MarkovError::BudgetExhausted {
+                    phase: "explore",
+                    resource: crate::BudgetResource::States,
+                    progress: 5000,
+                    limit: 5000,
+                },
+                "explored-states budget",
+            ),
+            (MarkovError::Cancelled { phase: "power" }, "cancelled"),
         ];
         for (err, needle) in cases {
             assert!(

@@ -10,7 +10,16 @@ use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::hash::Hash;
 
-use crate::{Ctmc, CtmcBuilder, MarkovError};
+use crate::{BudgetResource, Ctmc, CtmcBuilder, MarkovError, SolveBudget};
+
+/// Estimated CSR bytes per stored transition: an `f64` value, a column
+/// index and its share of the row-start array, mirroring the layout of
+/// [`crate::CsrMatrix`].
+const CSR_BYTES_PER_EDGE: usize = 8 + 8;
+/// Estimated CSR bytes per state (one row-start slot per matrix).
+const CSR_BYTES_PER_STATE: usize = 2 * 8;
+/// How many dequeued states pass between cooperative budget checkpoints.
+const EXPLORE_CHECK_INTERVAL: usize = 256;
 
 /// The result of exploring a procedural model: the chain plus the mapping
 /// between model states and CTMC indices.
@@ -172,16 +181,56 @@ where
     F: Fn(&S) -> I,
     I: IntoIterator<Item = (f64, S)>,
 {
+    explore_budgeted(initial, max_states, successors, &SolveBudget::unlimited())
+}
+
+/// [`explore`] under a cooperative [`SolveBudget`].
+///
+/// On top of the caller's `max_states` truncation bound, the budget may
+/// impose a (tighter) explored-state cap, an estimated CSR-memory cap, a
+/// wall-clock deadline and a cancellation token. Deadline and cancellation
+/// are polled every 256 dequeued states; the state and byte caps are
+/// enforced exactly, on every newly discovered state.
+///
+/// # Errors
+///
+/// Returns [`MarkovError::BudgetExhausted`] naming the exhausted resource
+/// (`phase = "explore"`), [`MarkovError::Cancelled`] when the token fired,
+/// [`MarkovError::StateOutOfRange`] when the caller's own `max_states`
+/// bound (not the budget's) was exceeded, or any construction error from
+/// the underlying [`CtmcBuilder`].
+pub fn explore_budgeted<S, F, I>(
+    initial: S,
+    max_states: usize,
+    successors: F,
+    budget: &SolveBudget,
+) -> Result<Explored<S>, MarkovError>
+where
+    S: Clone + Eq + Hash,
+    F: Fn(&S) -> I,
+    I: IntoIterator<Item = (f64, S)>,
+{
     let mut index: HashMap<S, usize> = HashMap::new();
     let mut states: Vec<S> = Vec::new();
     let mut queue: VecDeque<usize> = VecDeque::new();
     let mut transitions: Vec<(usize, usize, f64)> = Vec::new();
+
+    // The budget's cap coexists with the caller's truncation bound; which
+    // one trips determines the error (budget exhaustion vs. model runaway).
+    let budget_states = budget.max_states().unwrap_or(usize::MAX);
+    let budget_bytes = budget.max_csr_bytes().unwrap_or(usize::MAX);
+    let governed = !budget.is_unlimited();
+    let mut popped: usize = 0;
 
     index.insert(initial.clone(), 0);
     states.push(initial);
     queue.push_back(0);
 
     while let Some(from) = queue.pop_front() {
+        if governed && popped.is_multiple_of(EXPLORE_CHECK_INTERVAL) {
+            budget.checkpoint("explore", states.len() as u64)?;
+        }
+        popped += 1;
         let outgoing = successors(&states[from]);
         for (rate, next) in outgoing {
             if rate == 0.0 {
@@ -190,6 +239,14 @@ where
             let to = match index.get(&next) {
                 Some(&i) => i,
                 None => {
+                    if states.len() >= budget_states {
+                        return Err(MarkovError::BudgetExhausted {
+                            phase: "explore",
+                            resource: BudgetResource::States,
+                            progress: states.len() as u64,
+                            limit: budget_states as u64,
+                        });
+                    }
                     if states.len() >= max_states {
                         return Err(MarkovError::StateOutOfRange {
                             state: max_states,
@@ -204,6 +261,18 @@ where
                 }
             };
             transitions.push((from, to, rate));
+            if governed {
+                let bytes = transitions.len() * CSR_BYTES_PER_EDGE
+                    + (states.len() + 1) * CSR_BYTES_PER_STATE;
+                if bytes > budget_bytes {
+                    return Err(MarkovError::BudgetExhausted {
+                        phase: "explore",
+                        resource: BudgetResource::CsrBytes,
+                        progress: bytes as u64,
+                        limit: budget_bytes as u64,
+                    });
+                }
+            }
         }
     }
 
@@ -255,6 +324,75 @@ mod tests {
             vec![(1.0, k + 1), (1.0, k.saturating_sub(1))]
         });
         assert!(res.is_err());
+    }
+
+    #[test]
+    fn budget_state_cap_trips_before_the_truncation_bound() {
+        let runaway = |&k: &u64| vec![(1.0, k + 1), (1.0, k.saturating_sub(1))];
+        let budget = SolveBudget::unlimited().with_max_states(5);
+        match explore_budgeted(0_u64, 1000, runaway, &budget) {
+            Err(MarkovError::BudgetExhausted {
+                phase: "explore",
+                resource: BudgetResource::States,
+                limit: 5,
+                ..
+            }) => {}
+            other => panic!("expected explored-states exhaustion, got {other:?}"),
+        }
+        // The caller's own bound still reports the legacy error.
+        assert!(matches!(
+            explore_budgeted(0_u64, 5, runaway, &SolveBudget::unlimited()),
+            Err(MarkovError::StateOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn budget_byte_cap_trips_on_runaway_edges() {
+        let runaway = |&k: &u64| vec![(1.0, k + 1), (1.0, k.saturating_sub(1))];
+        let budget = SolveBudget::unlimited().with_max_csr_bytes(512);
+        match explore_budgeted(0_u64, usize::MAX, runaway, &budget) {
+            Err(MarkovError::BudgetExhausted {
+                phase: "explore",
+                resource: BudgetResource::CsrBytes,
+                ..
+            }) => {}
+            other => panic!("expected csr-bytes exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancelled_token_stops_exploration() {
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let budget = SolveBudget::unlimited().with_cancel(token);
+        assert!(matches!(
+            explore_budgeted(0_u64, 10, |&k| vec![(1.0, (k + 1) % 3)], &budget),
+            Err(MarkovError::Cancelled { phase: "explore" })
+        ));
+    }
+
+    #[test]
+    fn unlimited_budget_explores_identically() {
+        let rule = |&k: &u8| {
+            let mut out = Vec::new();
+            if k < 3 {
+                out.push((1.0, k + 1));
+            }
+            if k > 0 {
+                out.push((2.0, k - 1));
+            }
+            out
+        };
+        let plain = explore(0_u8, 100, rule).unwrap();
+        let governed = explore_budgeted(
+            0_u8,
+            100,
+            rule,
+            &SolveBudget::unlimited().with_max_states(50),
+        )
+        .unwrap();
+        assert_eq!(plain.ctmc(), governed.ctmc());
+        assert_eq!(plain.states(), governed.states());
     }
 
     #[test]

@@ -44,6 +44,7 @@
 //! ```
 
 pub mod birth_death;
+mod budget;
 mod builder;
 mod csr;
 mod ctmc;
@@ -56,11 +57,12 @@ mod solve_gauss_seidel;
 mod solve_power;
 pub mod transient;
 
+pub use budget::{BudgetResource, CancelToken, SolveBudget};
 pub use builder::CtmcBuilder;
 pub use csr::CsrMatrix;
 pub use ctmc::{Ctmc, Transition};
 pub use error::MarkovError;
-pub use explore::{explore, Explored};
+pub use explore::{explore, explore_budgeted, Explored};
 pub use scratch::SolveScratch;
 pub use solve_dense::DenseSolver;
 pub use solve_fallback::{FallbackSolver, SolveAttempt, SolveDiagnostics, SolverKind};

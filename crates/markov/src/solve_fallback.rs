@@ -17,7 +17,9 @@
 //! how degraded an evaluation was.
 
 use crate::scratch::{sanitize_hint, SolveScratch};
-use crate::{Ctmc, DenseSolver, GaussSeidelSolver, MarkovError, PowerSolver, SteadyStateSolver};
+use crate::{
+    Ctmc, DenseSolver, GaussSeidelSolver, MarkovError, PowerSolver, SolveBudget, SteadyStateSolver,
+};
 use std::time::{Duration, Instant};
 
 /// Which concrete algorithm a fallback attempt used.
@@ -368,32 +370,59 @@ impl FallbackSolver {
         hint: Option<&[f64]>,
         scratch: &mut SolveScratch,
     ) -> (Result<Vec<f64>, MarkovError>, SolveDiagnostics) {
+        self.solve_warm_budgeted(ctmc, hint, scratch, &SolveBudget::unlimited())
+    }
+
+    /// Runs the fallback chain under a cooperative [`SolveBudget`].
+    ///
+    /// Identical to [`Self::solve_warm`] except that every iterative stage
+    /// polls the budget's deadline and cancellation token between sweeps,
+    /// and the budget is re-checked before each attempt starts (so an
+    /// already-exhausted budget never launches the non-preemptible dense
+    /// solve). Budget exhaustion and cancellation abort the whole chain —
+    /// falling back to another solver after the deadline would only burn
+    /// more of the resource that just ran out.
+    pub fn solve_warm_budgeted(
+        &self,
+        ctmc: &Ctmc,
+        hint: Option<&[f64]>,
+        scratch: &mut SolveScratch,
+        budget: &SolveBudget,
+    ) -> (Result<Vec<f64>, MarkovError>, SolveDiagnostics) {
         let warm = hint.and_then(|h| sanitize_hint(ctmc.n_states(), h));
         let mut diagnostics = SolveDiagnostics {
             warm_hint_used: warm.is_some(),
             ..SolveDiagnostics::default()
         };
+        let governed = !budget.is_unlimited();
         let mut last_error = MarkovError::EmptyChain;
         for kind in self.attempt_order(ctmc.n_states()) {
+            // Re-check before every attempt: the dense stage is
+            // non-preemptible, so this gate is its only cancellation point.
+            if governed {
+                if let Err(e) = budget.checkpoint("solve", diagnostics.attempts.len() as u64) {
+                    return (Err(e), diagnostics);
+                }
+            }
             let started = Instant::now();
             let warm_started = warm.is_some() && kind != SolverKind::Dense;
             let raw = match kind {
                 SolverKind::GaussSeidel => {
                     let mut solver = self.gauss_seidel;
-                    if let Some(budget) = self.attempt_budget {
-                        solver = solver.with_time_budget(budget);
+                    if let Some(allowance) = self.attempt_budget {
+                        solver = solver.with_time_budget(allowance);
                     }
                     if self.assume_irreducible {
                         solver = solver.assuming_irreducible();
                     }
-                    solver.sweep_into(ctmc, warm.as_deref(), scratch)
+                    solver.sweep_into_budgeted(ctmc, warm.as_deref(), scratch, budget)
                 }
                 SolverKind::Power => {
                     let mut solver = self.power;
-                    if let Some(budget) = self.attempt_budget {
-                        solver = solver.with_time_budget(budget);
+                    if let Some(allowance) = self.attempt_budget {
+                        solver = solver.with_time_budget(allowance);
                     }
-                    solver.power_into(ctmc, warm.as_deref(), scratch)
+                    solver.power_into_budgeted(ctmc, warm.as_deref(), scratch, budget)
                 }
                 SolverKind::Dense => DenseSolver::new().solve_into(ctmc, scratch).map(|()| 0),
             };
@@ -435,8 +464,15 @@ impl FallbackSolver {
                 Err((e, iterations)) => {
                     // Structural failures apply to every solver: stop early
                     // rather than re-diagnosing the same chain three times.
-                    let structural =
-                        matches!(e, MarkovError::Reducible { .. } | MarkovError::EmptyChain);
+                    // Budget exhaustion and cancellation likewise end the
+                    // chain — the resource is gone for every later stage too.
+                    let structural = matches!(
+                        e,
+                        MarkovError::Reducible { .. }
+                            | MarkovError::EmptyChain
+                            | MarkovError::BudgetExhausted { .. }
+                            | MarkovError::Cancelled { .. }
+                    );
                     diagnostics.attempts.push(SolveAttempt {
                         solver: kind,
                         error: Some(e.clone()),
@@ -573,6 +609,43 @@ mod tests {
         ));
         assert!(diag.attempts[0].residual.unwrap() > 1e-9);
         assert!(diag.accepted_residual().unwrap() <= 1e-9);
+    }
+
+    #[test]
+    fn exhausted_budget_aborts_the_chain_without_fallbacks() {
+        use crate::CancelToken;
+        let ctmc = ring_chain(4, &[3.0, 1.5, 0.5, 2.0, 0.25, 1.0, 4.0, 0.75]);
+        let solver = FallbackSolver::default().with_dense_preferred_below(0);
+
+        // A cancelled token trips the pre-attempt gate before any solver
+        // runs — including the non-preemptible dense stage.
+        let token = CancelToken::new();
+        token.cancel();
+        let cancelled = SolveBudget::unlimited().with_cancel(token);
+        let (pi, diag) =
+            solver.solve_warm_budgeted(&ctmc, None, &mut SolveScratch::new(), &cancelled);
+        assert!(matches!(pi, Err(MarkovError::Cancelled { .. })));
+        assert!(diag.attempts.is_empty(), "no attempt should have launched");
+
+        // A sweep cap starves Gauss-Seidel mid-chain; the budget error must
+        // NOT trigger a fallback to power iteration or dense elimination.
+        let capped = SolveBudget::unlimited().with_max_sweeps(2);
+        let (pi, diag) = solver.solve_warm_budgeted(&ctmc, None, &mut SolveScratch::new(), &capped);
+        assert!(matches!(pi, Err(MarkovError::BudgetExhausted { .. })));
+        assert_eq!(diag.attempts.len(), 1, "budget errors are not retried");
+
+        // The unlimited budget reproduces the plain path bit-for-bit.
+        let (plain, _) = solver.solve_warm(&ctmc, None, &mut SolveScratch::new());
+        let (governed, _) = solver.solve_warm_budgeted(
+            &ctmc,
+            None,
+            &mut SolveScratch::new(),
+            &SolveBudget::unlimited(),
+        );
+        let (plain, governed) = (plain.unwrap(), governed.unwrap());
+        for (a, b) in plain.iter().zip(governed.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Iterative steady-state solution by Gauss–Seidel sweeps.
 
 use crate::scratch::{sanitize_hint, SolveScratch};
-use crate::{Ctmc, MarkovError, SteadyStateSolver};
+use crate::{BudgetResource, Ctmc, MarkovError, SolveBudget, SteadyStateSolver};
 
 /// Gauss–Seidel steady-state solver.
 ///
@@ -210,6 +210,22 @@ impl GaussSeidelSolver {
         warm: Option<&[f64]>,
         scratch: &mut SolveScratch,
     ) -> Result<usize, MarkovError> {
+        self.sweep_into_budgeted(ctmc, warm, scratch, &SolveBudget::unlimited())
+    }
+
+    /// [`sweep_into`](Self::sweep_into) under a cooperative
+    /// [`SolveBudget`]: the deadline and cancellation token are polled at
+    /// the same every-64-sweeps checkpoint as the solver's own time budget,
+    /// and the budget's sweep cap (when tighter than `max_sweeps`) turns
+    /// exhaustion into a [`MarkovError::BudgetExhausted`] naming the
+    /// resource.
+    pub(crate) fn sweep_into_budgeted(
+        &self,
+        ctmc: &Ctmc,
+        warm: Option<&[f64]>,
+        scratch: &mut SolveScratch,
+        budget: &SolveBudget,
+    ) -> Result<usize, MarkovError> {
         if !self.assume_irreducible {
             ctmc.check_irreducible()
                 .map_err(|state| MarkovError::Reducible { state })?;
@@ -255,14 +271,31 @@ impl GaussSeidelSolver {
             Some(hint) => pi.extend_from_slice(hint),
             None => pi.resize(n, 1.0 / n as f64),
         }
+        let governed = !budget.is_unlimited();
+        let sweep_cap = budget.max_sweeps();
         for sweep in 0..self.max_sweeps {
-            if let (Some(budget), Some(start)) = (self.time_budget, start) {
+            if let (Some(allowance), Some(start)) = (self.time_budget, start) {
                 // Check every 64 sweeps: cheap, bounded overshoot.
-                if sweep % 64 == 0 && start.elapsed() > budget {
+                if sweep % 64 == 0 && start.elapsed() > allowance {
                     return Err(MarkovError::TimedOut {
                         iterations: sweep,
-                        budget_secs: budget.as_secs_f64(),
+                        budget_secs: allowance.as_secs_f64(),
                     });
+                }
+            }
+            if governed {
+                if sweep % 64 == 0 {
+                    budget.checkpoint("gauss-seidel", sweep as u64)?;
+                }
+                if let Some(cap) = sweep_cap {
+                    if sweep as u64 >= cap {
+                        return Err(MarkovError::BudgetExhausted {
+                            phase: "gauss-seidel",
+                            resource: BudgetResource::Sweeps,
+                            progress: sweep as u64,
+                            limit: cap,
+                        });
+                    }
                 }
             }
             let mut delta = 0.0_f64;
@@ -494,6 +527,43 @@ mod tests {
             solver.steady_state(&b.build().unwrap()),
             Err(MarkovError::TimedOut { .. })
         ));
+    }
+
+    #[test]
+    fn budget_sweep_cap_and_cancellation_stop_the_sweeps() {
+        let mut b = CtmcBuilder::new(6);
+        for i in 0..6 {
+            b.rate(i, (i + 1) % 6, 1.0 + i as f64);
+            b.rate((i + 1) % 6, i, 2.5 / (1.0 + i as f64));
+        }
+        let ctmc = b.build().unwrap();
+        let solver = GaussSeidelSolver::new(1e-300, 100_000);
+        let mut scratch = SolveScratch::new();
+        let capped = SolveBudget::unlimited().with_max_sweeps(3);
+        assert!(matches!(
+            solver.sweep_into_budgeted(&ctmc, None, &mut scratch, &capped),
+            Err(MarkovError::BudgetExhausted {
+                phase: "gauss-seidel",
+                resource: BudgetResource::Sweeps,
+                limit: 3,
+                ..
+            })
+        ));
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let cancelled = SolveBudget::unlimited().with_cancel(token);
+        assert!(matches!(
+            solver.sweep_into_budgeted(&ctmc, None, &mut scratch, &cancelled),
+            Err(MarkovError::Cancelled {
+                phase: "gauss-seidel"
+            })
+        ));
+        // An unlimited budget is bit-identical to the plain path.
+        let plain = GaussSeidelSolver::default().steady_state(&ctmc).unwrap();
+        GaussSeidelSolver::default()
+            .sweep_into_budgeted(&ctmc, None, &mut scratch, &SolveBudget::unlimited())
+            .unwrap();
+        assert_eq!(plain, scratch.pi);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Iterative steady-state solution by uniformized power iteration.
 
 use crate::scratch::{sanitize_hint, SolveScratch};
-use crate::{Ctmc, MarkovError, SteadyStateSolver};
+use crate::{BudgetResource, Ctmc, MarkovError, SolveBudget, SteadyStateSolver};
 
 /// Iterative steady-state solver for large sparse chains.
 ///
@@ -130,6 +130,21 @@ impl PowerSolver {
         warm: Option<&[f64]>,
         scratch: &mut SolveScratch,
     ) -> Result<usize, MarkovError> {
+        self.power_into_budgeted(ctmc, warm, scratch, &SolveBudget::unlimited())
+    }
+
+    /// [`power_into`](Self::power_into) under a cooperative
+    /// [`SolveBudget`]: deadline and cancellation are polled at the same
+    /// every-64-sweeps checkpoint as the solver's own time budget, and the
+    /// budget's sweep cap (when tighter than `max_sweeps`) turns exhaustion
+    /// into a [`MarkovError::BudgetExhausted`] naming the resource.
+    pub(crate) fn power_into_budgeted(
+        &self,
+        ctmc: &Ctmc,
+        warm: Option<&[f64]>,
+        scratch: &mut SolveScratch,
+        budget: &SolveBudget,
+    ) -> Result<usize, MarkovError> {
         ctmc.check_irreducible()
             .map_err(|state| MarkovError::Reducible { state })?;
         let n = ctmc.n_states();
@@ -158,13 +173,30 @@ impl PowerSolver {
         next.clear();
         next.resize(n, 0.0);
         let mut last_delta = f64::INFINITY;
+        let governed = !budget.is_unlimited();
+        let sweep_cap = budget.max_sweeps();
         for sweep in 0..self.max_sweeps {
-            if let (Some(budget), Some(start)) = (self.time_budget, start) {
-                if sweep % 64 == 0 && start.elapsed() > budget {
+            if let (Some(allowance), Some(start)) = (self.time_budget, start) {
+                if sweep % 64 == 0 && start.elapsed() > allowance {
                     return Err(MarkovError::TimedOut {
                         iterations: sweep,
-                        budget_secs: budget.as_secs_f64(),
+                        budget_secs: allowance.as_secs_f64(),
                     });
+                }
+            }
+            if governed {
+                if sweep % 64 == 0 {
+                    budget.checkpoint("power", sweep as u64)?;
+                }
+                if let Some(cap) = sweep_cap {
+                    if sweep as u64 >= cap {
+                        return Err(MarkovError::BudgetExhausted {
+                            phase: "power",
+                            resource: BudgetResource::Sweeps,
+                            progress: sweep as u64,
+                            limit: cap,
+                        });
+                    }
                 }
             }
             // next = pi * P = pi + (pi * Q) / lambda
@@ -300,6 +332,35 @@ mod tests {
         assert!(matches!(
             solver.steady_state(&b.build().unwrap()),
             Err(MarkovError::TimedOut { .. })
+        ));
+    }
+
+    #[test]
+    fn budget_deadline_and_sweep_cap_stop_the_iteration() {
+        let mut b = CtmcBuilder::new(2);
+        b.rate(0, 1, 1e-9).rate(1, 0, 1e3);
+        let ctmc = b.build().unwrap();
+        let solver = PowerSolver::new(1e-16, 1_000_000);
+        let mut scratch = SolveScratch::new();
+        let expired = SolveBudget::unlimited()
+            .with_deadline(std::time::Instant::now() - std::time::Duration::from_millis(1));
+        assert!(matches!(
+            solver.power_into_budgeted(&ctmc, None, &mut scratch, &expired),
+            Err(MarkovError::BudgetExhausted {
+                phase: "power",
+                resource: BudgetResource::WallClock,
+                ..
+            })
+        ));
+        let capped = SolveBudget::unlimited().with_max_sweeps(5);
+        assert!(matches!(
+            solver.power_into_budgeted(&ctmc, None, &mut scratch, &capped),
+            Err(MarkovError::BudgetExhausted {
+                phase: "power",
+                resource: BudgetResource::Sweeps,
+                limit: 5,
+                ..
+            })
         ));
     }
 

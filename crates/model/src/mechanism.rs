@@ -45,11 +45,16 @@ impl ParamRange {
                 let mut out = Vec::new();
                 let mut v = min.seconds();
                 let maxs = max.seconds();
-                // Guard against factor <= 1 producing an infinite loop; the
-                // constructor path validates, but ranges can be deserialized.
+                // Guard against degenerate ranges producing an infinite
+                // loop: factor <= 1 never advances, and a zero min stays
+                // zero under multiplication. The parser rejects both, but
+                // ranges can also be built or deserialized directly.
                 let factor = factor.max(1.0 + 1e-9);
                 while v <= maxs * (1.0 + 1e-12) {
                     out.push(ParamValue::Duration(Duration::from_secs(v.min(maxs))));
+                    if v <= 0.0 {
+                        break;
+                    }
                     v *= factor;
                 }
                 out
@@ -573,6 +578,17 @@ mod tests {
         assert_eq!(vals.len(), 2);
         assert_eq!(vals[0], ParamValue::Duration(Duration::from_mins(1.0)));
         assert_eq!(vals[1], ParamValue::Duration(Duration::from_secs(90.0)));
+    }
+
+    #[test]
+    fn zero_min_geometric_range_terminates() {
+        // 0 * factor = 0: without the guard this loops forever.
+        let r = ParamRange::GeometricDuration {
+            min: Duration::ZERO,
+            max: Duration::from_hours(24.0),
+            factor: 1.05,
+        };
+        assert_eq!(r.values(), vec![ParamValue::Duration(Duration::ZERO)]);
     }
 
     #[test]

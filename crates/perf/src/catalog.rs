@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use aved_model::PerfRef;
+use aved_model::{PerfRef, Service};
 
 use crate::{CheckpointOverhead, PerfFunction};
 
@@ -42,6 +42,42 @@ impl fmt::Display for CatalogError {
 }
 
 impl Error for CatalogError {}
+
+/// A service tier references a function its catalog cannot resolve.
+///
+/// Produced by [`Catalog::validate_service`]. Carries the name of the
+/// offending tier; the unresolved reference itself is the
+/// [`source`](Error::source), so walking the error chain yields both the
+/// *where* (tier) and the *what* (missing function name).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverageError {
+    tier: String,
+    source: CatalogError,
+}
+
+impl CoverageError {
+    /// The tier whose reference failed to resolve.
+    #[must_use]
+    pub fn tier(&self) -> &str {
+        &self.tier
+    }
+}
+
+impl fmt::Display for CoverageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tier {:?} references a function missing from the catalog",
+            self.tier
+        )
+    }
+}
+
+impl Error for CoverageError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.source)
+    }
+}
 
 /// A registry of performance and checkpoint-overhead functions.
 ///
@@ -134,6 +170,34 @@ impl Catalog {
             .ok_or_else(|| CatalogError::new(name, "mperformance"))
     }
 
+    /// Verifies that this catalog resolves every performance and
+    /// mperformance reference `service` makes, before any search spends
+    /// time on it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoverageError`] naming the first tier whose reference
+    /// fails, with the unresolved [`CatalogError`] as its source.
+    pub fn validate_service(&self, service: &Service) -> Result<(), CoverageError> {
+        let blame = |tier: &str| {
+            let tier = tier.to_owned();
+            move |source| CoverageError { tier, source }
+        };
+        for tier in service.tiers() {
+            for opt in tier.options() {
+                self.resolve_perf(opt.performance())
+                    .map_err(blame(tier.name().as_str()))?;
+                for mu in opt.mechanisms() {
+                    if let Some(name) = mu.mperformance() {
+                        self.resolve_mperf(name)
+                            .map_err(blame(tier.name().as_str()))?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Number of registered performance functions.
     #[must_use]
     pub fn n_perf(&self) -> usize {
@@ -180,5 +244,54 @@ mod tests {
         let c = Catalog::new();
         let f = c.resolve_perf(&PerfRef::Const(5.0)).unwrap();
         assert_eq!(f.throughput(9), 5.0);
+    }
+
+    fn one_tier_service(perf: PerfRef, mperf: Option<String>) -> Service {
+        use aved_model::{FailureScope, MechanismUse, NActiveSpec, ResourceOption, Sizing, Tier};
+
+        let mut opt = ResourceOption::new(
+            "rX",
+            Sizing::Dynamic,
+            FailureScope::Resource,
+            NActiveSpec::Arithmetic {
+                min: 1,
+                max: 4,
+                step: 1,
+            },
+            perf,
+        );
+        if let Some(name) = mperf {
+            opt = opt.with_mechanism(MechanismUse::new("ckpt", Some(name)));
+        }
+        Service::new("svc").with_tier(Tier::new("web").with_option(opt))
+    }
+
+    #[test]
+    fn coverage_errors_name_tier_and_chain_the_missing_reference() {
+        let service = one_tier_service(
+            PerfRef::Named("ghost.dat".into()),
+            Some("mghost.dat".into()),
+        );
+
+        let empty = Catalog::new();
+        let err = empty.validate_service(&service).unwrap_err();
+        assert_eq!(err.tier(), "web");
+        assert!(err.to_string().contains("web"), "{err}");
+        let cause = Error::source(&err).expect("missing reference is the cause");
+        assert!(cause.to_string().contains("ghost.dat"), "{cause}");
+
+        let mut perf_only = Catalog::new();
+        perf_only.insert_perf("ghost.dat", PerfFunction::linear(1.0));
+        let err = perf_only.validate_service(&service).unwrap_err();
+        assert!(
+            Error::source(&err).unwrap().to_string().contains("mghost"),
+            "mperformance references are covered too: {err}"
+        );
+    }
+
+    #[test]
+    fn coverage_accepts_fully_resolvable_services() {
+        let service = one_tier_service(PerfRef::Const(100.0), None);
+        Catalog::new().validate_service(&service).unwrap();
     }
 }

@@ -27,6 +27,6 @@ mod function;
 mod overhead;
 pub mod paper;
 
-pub use catalog::{Catalog, CatalogError};
+pub use catalog::{Catalog, CatalogError, CoverageError};
 pub use function::PerfFunction;
 pub use overhead::{CheckpointOverhead, OverheadForm, StorageLocation};

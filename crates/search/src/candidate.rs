@@ -1,8 +1,14 @@
 //! Enumeration of resolved tier-design candidates.
 
+use std::sync::Arc;
+use std::time::Instant;
+
+use aved_avail::{CancelToken, SolveBudget};
 use aved_model::{
     Infrastructure, MechanismName, ParamValue, ResourceOption, SpareMode, TierDesign, TierName,
 };
+
+use crate::journal::{JournalReplay, SweepJournal};
 
 /// Knobs bounding the enumerated design space.
 ///
@@ -11,7 +17,7 @@ use aved_model::{
 /// resources only raises cost, and the termination rules of §4.1 stop the
 /// search long before these bounds. They exist so exhaustive sweeps
 /// (Pareto frontiers) terminate too.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct SearchOptions {
     /// Largest number of active resources beyond the performance minimum.
     pub max_extra_active: u32,
@@ -44,6 +50,65 @@ pub struct SearchOptions {
     /// default; the selected design is bit-identical either way — disable
     /// only to measure the speedup or to force fully independent solves.
     pub warm_start: bool,
+    /// Per-candidate wall-clock allowance: each candidate's availability
+    /// evaluation (exploration + every solver attempt) must finish within
+    /// this much time or it is abandoned with a budget-exhaustion
+    /// diagnostic. The clock restarts for every candidate. `None` (the
+    /// default) means no per-candidate limit.
+    pub candidate_timeout: Option<std::time::Duration>,
+    /// Largest Markov state space any single candidate may explore before
+    /// its evaluation is abandoned as budget-exhausted. Guards against
+    /// state-space explosion from adversarial or mis-specified models.
+    /// `None` (the default) applies only the engine's built-in truncation
+    /// bound.
+    pub max_states: Option<usize>,
+    /// Whole-search wall-clock deadline, measured from the moment the
+    /// search starts. When it passes, the search stops at the next
+    /// candidate boundary and returns its best-so-far result with
+    /// `SearchHealth::interrupted` set. `None` (the default) means the
+    /// search runs to completion.
+    pub search_deadline: Option<std::time::Duration>,
+    /// Cooperative cancellation token, checked at candidate boundaries and
+    /// inside long solver loops. Firing it (e.g. from a signal handler)
+    /// stops the search cleanly with its best-so-far result.
+    pub cancel: Option<CancelToken>,
+    /// Evaluation journal: every candidate outcome is appended as it
+    /// merges, so a killed or cancelled sweep can be resumed with
+    /// [`SearchOptions::resume`].
+    pub journal: Option<Arc<SweepJournal>>,
+    /// Replay source: candidates whose keys appear in this loaded journal
+    /// skip evaluation and reuse the recorded result bit-for-bit.
+    pub resume: Option<Arc<JournalReplay>>,
+}
+
+impl PartialEq for SearchOptions {
+    /// Structural equality on the enumeration/evaluation knobs; the
+    /// journal and replay handles compare by identity (two options are
+    /// interchangeable only when they write to and replay from the same
+    /// journal objects).
+    fn eq(&self, other: &SearchOptions) -> bool {
+        fn same_arc<T>(a: &Option<Arc<T>>, b: &Option<Arc<T>>) -> bool {
+            match (a, b) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            }
+        }
+        self.max_extra_active == other.max_extra_active
+            && self.max_spares == other.max_spares
+            && self.spare_modes == other.spare_modes
+            && self.pins == other.pins
+            && self.strict == other.strict
+            && self.jobs == other.jobs
+            && self.prune == other.prune
+            && self.warm_start == other.warm_start
+            && self.candidate_timeout == other.candidate_timeout
+            && self.max_states == other.max_states
+            && self.search_deadline == other.search_deadline
+            && self.cancel == other.cancel
+            && same_arc(&self.journal, &other.journal)
+            && same_arc(&self.resume, &other.resume)
+    }
 }
 
 impl Default for SearchOptions {
@@ -60,6 +125,12 @@ impl Default for SearchOptions {
             jobs: 1,
             prune: true,
             warm_start: true,
+            candidate_timeout: None,
+            max_states: None,
+            search_deadline: None,
+            cancel: None,
+            journal: None,
+            resume: None,
         }
     }
 }
@@ -114,6 +185,85 @@ impl SearchOptions {
     {
         self.pins.push((mechanism.into(), param.into(), value));
         self
+    }
+
+    /// Bounds each candidate's evaluation to `timeout` of wall-clock time.
+    #[must_use]
+    pub fn with_candidate_timeout(mut self, timeout: std::time::Duration) -> SearchOptions {
+        self.candidate_timeout = Some(timeout);
+        self
+    }
+
+    /// Bounds each candidate's Markov exploration to `max_states` states.
+    #[must_use]
+    pub fn with_max_states(mut self, max_states: usize) -> SearchOptions {
+        self.max_states = Some(max_states);
+        self
+    }
+
+    /// Bounds the whole search to `deadline` of wall-clock time, after
+    /// which it returns its best-so-far result as interrupted.
+    #[must_use]
+    pub fn with_search_deadline(mut self, deadline: std::time::Duration) -> SearchOptions {
+        self.search_deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a cooperative cancellation token.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> SearchOptions {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Journals every candidate outcome to `journal` as the search runs.
+    #[must_use]
+    pub fn with_journal(mut self, journal: Arc<SweepJournal>) -> SearchOptions {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Replays recorded outcomes from `replay` instead of re-evaluating.
+    #[must_use]
+    pub fn with_resume(mut self, replay: Arc<JournalReplay>) -> SearchOptions {
+        self.resume = Some(replay);
+        self
+    }
+
+    /// The absolute whole-search deadline for a search that started at
+    /// `start`, when one is configured.
+    pub(crate) fn deadline_from(&self, start: Instant) -> Option<Instant> {
+        self.search_deadline.map(|d| start + d)
+    }
+
+    /// The solve budget every evaluation session runs under: the absolute
+    /// search deadline, the per-candidate timeout and state cap, and the
+    /// cancellation token, all folded into one [`SolveBudget`].
+    pub(crate) fn eval_budget(&self, deadline: Option<Instant>) -> SolveBudget {
+        let mut budget = SolveBudget::unlimited();
+        if let Some(d) = deadline {
+            budget = budget.with_deadline(d);
+        }
+        if let Some(t) = self.candidate_timeout {
+            budget = budget.with_candidate_timeout(t);
+        }
+        if let Some(s) = self.max_states {
+            budget = budget.with_max_states(s);
+        }
+        if let Some(c) = &self.cancel {
+            budget = budget.with_cancel(c.clone());
+        }
+        budget
+    }
+
+    /// `true` once the search should stop at the next candidate boundary:
+    /// the cancellation token fired or the whole-search deadline passed.
+    /// Monotone — once true it stays true — so one post-batch check
+    /// suffices to convert worker-observed interruptions into a clean
+    /// best-so-far stop.
+    pub(crate) fn stop_requested(&self, deadline: Option<Instant>) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+            || deadline.is_some_and(|d| Instant::now() >= d)
     }
 }
 

@@ -47,6 +47,34 @@ impl SearchError {
             SearchError::Avail(_) | SearchError::NonFiniteEvaluation { .. }
         )
     }
+
+    /// `true` when the error reports a cooperative cancellation (a
+    /// [`CancelToken`](aved_avail::CancelToken) fired mid-evaluation).
+    /// Cancellation condemns nothing: the search stops cleanly with its
+    /// best-so-far result instead of recording a skipped candidate.
+    #[must_use]
+    pub fn is_cancellation(&self) -> bool {
+        matches!(
+            self,
+            SearchError::Avail(aved_avail::AvailError::Markov(
+                aved_markov::MarkovError::Cancelled { .. }
+            ))
+        )
+    }
+
+    /// `true` when the error reports a per-candidate resource budget
+    /// running out (deadline, sweep cap, state cap — see
+    /// [`SolveBudget`](aved_avail::SolveBudget)). Candidate-scoped: the
+    /// candidate is skipped and counted, the sweep continues.
+    #[must_use]
+    pub fn is_budget_exhaustion(&self) -> bool {
+        matches!(
+            self,
+            SearchError::Avail(aved_avail::AvailError::Markov(
+                aved_markov::MarkovError::BudgetExhausted { .. }
+            ))
+        )
+    }
 }
 
 impl fmt::Display for SearchError {

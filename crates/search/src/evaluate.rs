@@ -70,6 +70,27 @@ impl EvaluatedDesign {
         self.health
     }
 
+    /// Reassembles an evaluated design from previously-recorded parts —
+    /// the journal-replay path, where every metric was validated when it
+    /// was first evaluated and is restored bit-for-bit.
+    pub(crate) fn from_parts(
+        design: TierDesign,
+        cost: Money,
+        availability: TierAvailability,
+        min_for_perf: u32,
+        expected_job_time: Option<Duration>,
+        health: EvalHealth,
+    ) -> EvaluatedDesign {
+        EvaluatedDesign {
+            design,
+            cost,
+            availability,
+            min_for_perf,
+            expected_job_time,
+            health,
+        }
+    }
+
     /// Assembles an evaluated design directly from parts, bypassing every
     /// engine and finiteness guard. Test-only: lets guard tests feed
     /// deliberately-broken metrics to downstream code.

@@ -18,11 +18,38 @@ use aved_units::Duration;
 
 use crate::evaluate::{evaluate_enterprise_design_in, evaluate_job_design_in};
 use crate::health::isolate_candidate;
+use crate::journal::{enterprise_key, job_key};
 use crate::parallel::{effective_jobs, parallel_map_with};
 use crate::{
     enumerate_tier_candidates, EvalContext, EvaluatedDesign, SearchError, SearchHealth,
     SearchOptions,
 };
+
+/// What happened to one candidate of a frontier sweep, in the worker.
+enum SweepOutcome {
+    /// Skipped without evaluation: a worker already hit a fatal error
+    /// (the fold surfaces it) or the sweep is stopping (the post-fold
+    /// check records the interruption).
+    Skipped,
+    /// Restored bit-for-bit from the resume journal.
+    Replayed(Result<Option<EvaluatedDesign>, SearchError>),
+    /// Evaluated live.
+    Evaluated(Result<Option<EvaluatedDesign>, SearchError>),
+}
+
+/// Raises the abort flag for fatal (or strict-mode) failures; a
+/// cancellation is never fatal — it resolves into a clean interruption.
+fn flag_fatal(
+    result: &Result<Option<EvaluatedDesign>, SearchError>,
+    strict: bool,
+    abort: &AtomicBool,
+) {
+    if let Err(e) = result {
+        if !e.is_cancellation() && (strict || !e.is_candidate_scoped()) {
+            abort.store(true, Ordering::Relaxed);
+        }
+    }
+}
 
 /// Computes the cost/downtime Pareto frontier of one enterprise tier at a
 /// fixed load: every design that is the cheapest way to reach its downtime
@@ -62,6 +89,8 @@ pub fn tier_pareto_frontier_with_health(
 ) -> Result<(Vec<EvaluatedDesign>, SearchHealth), SearchError> {
     let started = Instant::now();
     let tier = ctx.tier(tier_name)?;
+    let deadline = options.deadline_from(started);
+    let budget = options.eval_budget(deadline);
     let jobs = effective_jobs(options.jobs);
     let mut health = SearchHealth {
         jobs,
@@ -96,24 +125,29 @@ pub fn tier_pareto_frontier_with_health(
 
     let solving = Instant::now();
     let abort = AtomicBool::new(false);
-    let mut sessions: Vec<EvalSession> = (0..jobs.max(1)).map(|_| EvalSession::new()).collect();
+    let mut sessions: Vec<EvalSession> = (0..jobs.max(1))
+        .map(|_| EvalSession::new().with_budget(budget.clone()))
+        .collect();
     let outcomes = parallel_map_with(jobs, &mut sessions, &items, |session, _, (option, td)| {
-        if abort.load(Ordering::Relaxed) {
-            return None;
+        if abort.load(Ordering::Relaxed) || options.stop_requested(deadline) {
+            return SweepOutcome::Skipped;
         }
-        let mut cold = EvalSession::new();
+        if let Some(replay) = &options.resume {
+            if let Some(entry) = replay.lookup(&enterprise_key(tier_name, load, td)) {
+                let result = entry.clone().into_result(td);
+                flag_fatal(&result, options.strict, &abort);
+                return SweepOutcome::Replayed(result);
+            }
+        }
+        let mut cold = EvalSession::new().with_budget(budget.clone());
         let session = if options.warm_start {
             session
         } else {
             &mut cold
         };
         let result = evaluate_enterprise_design_in(ctx, option, td, load, session);
-        if let Err(e) = &result {
-            if options.strict || !e.is_candidate_scoped() {
-                abort.store(true, Ordering::Relaxed);
-            }
-        }
-        Some(result)
+        flag_fatal(&result, options.strict, &abort);
+        SweepOutcome::Evaluated(result)
     });
     for session in &sessions {
         health.absorb_session(session.stats());
@@ -123,10 +157,29 @@ pub fn tier_pareto_frontier_with_health(
     let merging = Instant::now();
     let mut all: Vec<EvaluatedDesign> = Vec::new();
     for ((_, td), outcome) in items.iter().zip(outcomes) {
-        let Some(result) = outcome else { continue };
+        let (result, replayed) = match outcome {
+            SweepOutcome::Skipped => continue,
+            SweepOutcome::Replayed(r) => (r, true),
+            SweepOutcome::Evaluated(r) => (r, false),
+        };
+        if matches!(&result, Err(e) if e.is_cancellation()) {
+            continue;
+        }
+        if replayed {
+            health.journal_replayed += 1;
+        }
+        if matches!(&result, Err(e) if e.is_budget_exhaustion()) {
+            health.budget_exhausted += 1;
+        }
+        if let Some(journal) = &options.journal {
+            journal.record(&enterprise_key(tier_name, load, td), &result);
+        }
         if let Some(e) = isolate_candidate(result, options.strict, &mut health, td)? {
             all.push(e);
         }
+    }
+    if options.stop_requested(deadline) {
+        health.interrupted = true;
     }
     let frontier = pareto_by(all, |e| e.annual_downtime());
     health.merge_time = merging.elapsed();
@@ -169,6 +222,8 @@ pub fn job_frontier_with_health(
 ) -> Result<(Vec<EvaluatedDesign>, SearchHealth), SearchError> {
     let started = Instant::now();
     let tier = ctx.tier(tier_name)?;
+    let deadline = options.deadline_from(started);
+    let budget = options.eval_budget(deadline);
     let jobs = effective_jobs(options.jobs);
     let mut health = SearchHealth {
         jobs,
@@ -199,24 +254,29 @@ pub fn job_frontier_with_health(
 
     let solving = Instant::now();
     let abort = AtomicBool::new(false);
-    let mut sessions: Vec<EvalSession> = (0..jobs.max(1)).map(|_| EvalSession::new()).collect();
+    let mut sessions: Vec<EvalSession> = (0..jobs.max(1))
+        .map(|_| EvalSession::new().with_budget(budget.clone()))
+        .collect();
     let outcomes = parallel_map_with(jobs, &mut sessions, &items, |session, _, (option, td)| {
-        if abort.load(Ordering::Relaxed) {
-            return None;
+        if abort.load(Ordering::Relaxed) || options.stop_requested(deadline) {
+            return SweepOutcome::Skipped;
         }
-        let mut cold = EvalSession::new();
+        if let Some(replay) = &options.resume {
+            if let Some(entry) = replay.lookup(&job_key(tier_name, td)) {
+                let result = entry.clone().into_result(td);
+                flag_fatal(&result, options.strict, &abort);
+                return SweepOutcome::Replayed(result);
+            }
+        }
+        let mut cold = EvalSession::new().with_budget(budget.clone());
         let session = if options.warm_start {
             session
         } else {
             &mut cold
         };
         let result = evaluate_job_design_in(ctx, option, td, session);
-        if let Err(e) = &result {
-            if options.strict || !e.is_candidate_scoped() {
-                abort.store(true, Ordering::Relaxed);
-            }
-        }
-        Some(result)
+        flag_fatal(&result, options.strict, &abort);
+        SweepOutcome::Evaluated(result)
     });
     for session in &sessions {
         health.absorb_session(session.stats());
@@ -226,10 +286,29 @@ pub fn job_frontier_with_health(
     let merging = Instant::now();
     let mut all: Vec<EvaluatedDesign> = Vec::new();
     for ((_, td), outcome) in items.iter().zip(outcomes) {
-        let Some(result) = outcome else { continue };
+        let (result, replayed) = match outcome {
+            SweepOutcome::Skipped => continue,
+            SweepOutcome::Replayed(r) => (r, true),
+            SweepOutcome::Evaluated(r) => (r, false),
+        };
+        if matches!(&result, Err(e) if e.is_cancellation()) {
+            continue;
+        }
+        if replayed {
+            health.journal_replayed += 1;
+        }
+        if matches!(&result, Err(e) if e.is_budget_exhaustion()) {
+            health.budget_exhausted += 1;
+        }
+        if let Some(journal) = &options.journal {
+            journal.record(&job_key(tier_name, td), &result);
+        }
         if let Some(e) = isolate_candidate(result, options.strict, &mut health, td)? {
             all.push(e);
         }
+    }
+    if options.stop_requested(deadline) {
+        health.interrupted = true;
     }
     // Job evaluations always carry a completion time; should one ever
     // not, ranking it last keeps it off the frontier.
@@ -320,6 +399,19 @@ mod tests {
         );
     }
 
+    /// One frontier-vs-search disagreement: which downtime budget, and what
+    /// each method produced. Collected across every probed budget so a
+    /// failure reports the full disagreement pattern, not just the first
+    /// divergence.
+    #[derive(Debug)]
+    #[allow(dead_code)] // fields exist for the Debug output in the assert
+    struct FrontierMismatch {
+        budget_mins: f64,
+        kind: &'static str,
+        frontier: Option<String>,
+        search: Option<String>,
+    }
+
     #[test]
     fn frontier_lookup_matches_search() {
         // The min-cost design for a downtime requirement is the first
@@ -330,18 +422,34 @@ mod tests {
         let o = small_opts();
         let load = 1000.0;
         let frontier = tier_pareto_frontier(&ctx, "application", load, &o).unwrap();
+        let mut mismatches: Vec<FrontierMismatch> = Vec::new();
         for budget_mins in [20.0, 100.0, 1000.0] {
             let budget = aved_units::Duration::from_mins(budget_mins);
             let via_frontier = frontier.iter().find(|e| e.annual_downtime() <= budget);
             let via_search = crate::search_tier(&ctx, "application", load, budget, &o).unwrap();
+            let describe =
+                |e: &crate::EvaluatedDesign| format!("{:?} at ${}", e.design(), e.cost().dollars());
             match (via_frontier, via_search.best()) {
-                (Some(a), Some(b)) => {
-                    assert_eq!(a.cost(), b.cost(), "budget {budget_mins} min");
-                }
+                (Some(a), Some(b)) if a.cost() == b.cost() => {}
                 (None, None) => {}
-                (a, b) => panic!("frontier {a:?} vs search {b:?}"),
+                (a, b) => mismatches.push(FrontierMismatch {
+                    budget_mins,
+                    kind: match (&a, &b) {
+                        (Some(_), Some(_)) => "different cost",
+                        (Some(_), None) => "search missed a feasible design",
+                        (None, Some(_)) => "frontier missed a feasible design",
+                        (None, None) => unreachable!(),
+                    },
+                    frontier: a.map(&describe),
+                    search: b.map(describe),
+                }),
             }
         }
+        assert!(
+            mismatches.is_empty(),
+            "frontier and search disagree at {} of 3 budgets:\n{mismatches:#?}",
+            mismatches.len()
+        );
     }
 
     #[test]

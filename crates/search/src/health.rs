@@ -92,6 +92,17 @@ pub struct SearchHealth {
     /// Iterations saved by warm starts, relative to each chain shape's
     /// cold-solve baseline.
     pub iterations_saved: u64,
+    /// Candidates abandoned because a per-candidate resource budget ran
+    /// out (deadline, sweep cap, state cap). Each is also recorded in
+    /// `skipped` with a diagnostic naming the exhausted resource.
+    pub budget_exhausted: u64,
+    /// Candidates whose results were replayed bit-for-bit from a resume
+    /// journal instead of being re-evaluated.
+    pub journal_replayed: u64,
+    /// `true` when the search stopped early — the whole-search deadline
+    /// passed or a cancellation token fired — and the results are
+    /// best-so-far rather than exhaustive.
+    pub interrupted: bool,
 }
 
 impl PartialEq for SearchHealth {
@@ -110,10 +121,11 @@ impl SearchHealth {
     }
 
     /// `true` when the search took any degraded path: a candidate was
-    /// skipped or a solver fallback was needed.
+    /// skipped, a solver fallback was needed, or the run was interrupted
+    /// before covering the full design space.
     #[must_use]
     pub fn is_degraded(&self) -> bool {
-        !self.skipped.is_empty() || self.fallbacks_taken > 0
+        !self.skipped.is_empty() || self.fallbacks_taken > 0 || self.interrupted
     }
 
     /// Folds one successful evaluation's health into this report.
@@ -148,6 +160,9 @@ impl SearchHealth {
         self.chain_rebuilds_avoided += other.chain_rebuilds_avoided;
         self.solver_iterations += other.solver_iterations;
         self.iterations_saved += other.iterations_saved;
+        self.budget_exhausted += other.budget_exhausted;
+        self.journal_replayed += other.journal_replayed;
+        self.interrupted |= other.interrupted;
     }
 
     /// Folds one evaluation session's accumulated statistics into this
@@ -200,6 +215,15 @@ impl std::fmt::Display for SearchHealth {
                 self.chain_rebuilds_avoided,
                 self.iterations_saved
             )?;
+        }
+        if self.budget_exhausted > 0 {
+            write!(f, ", {} budget-exhausted", self.budget_exhausted)?;
+        }
+        if self.journal_replayed > 0 {
+            write!(f, ", {} replayed from journal", self.journal_replayed)?;
+        }
+        if self.interrupted {
+            write!(f, ", interrupted (best-so-far)")?;
         }
         write!(f, ", {:.1} ms", self.wall_time.as_secs_f64() * 1e3)
     }
@@ -291,6 +315,9 @@ mod tests {
             chain_rebuilds_avoided: 12,
             solver_iterations: 900,
             iterations_saved: 300,
+            budget_exhausted: 2,
+            journal_replayed: 9,
+            interrupted: false,
         };
         let b = SearchHealth {
             skipped: skip(2),
@@ -309,6 +336,9 @@ mod tests {
             chain_rebuilds_avoided: 3,
             solver_iterations: 100,
             iterations_saved: 40,
+            budget_exhausted: 1,
+            journal_replayed: 4,
+            interrupted: true,
         };
         a.merge(b);
         assert_eq!(a.candidates_skipped(), 3);
@@ -327,6 +357,9 @@ mod tests {
         assert_eq!(a.chain_rebuilds_avoided, 15);
         assert_eq!(a.solver_iterations, 1000);
         assert_eq!(a.iterations_saved, 340);
+        assert_eq!(a.budget_exhausted, 3);
+        assert_eq!(a.journal_replayed, 13);
+        assert!(a.interrupted, "interruption is sticky across merges");
     }
 
     #[test]
@@ -371,6 +404,9 @@ mod tests {
             warm_hits: 10,
             chain_rebuilds_avoided: 8,
             iterations_saved: 450,
+            budget_exhausted: 3,
+            journal_replayed: 6,
+            interrupted: true,
             ..SearchHealth::default()
         };
         let s = h.to_string();
@@ -383,6 +419,19 @@ mod tests {
         assert!(s.contains("warm 10/12 hit"), "{s}");
         assert!(s.contains("8 rebuild(s) avoided"), "{s}");
         assert!(s.contains("450 iteration(s) saved"), "{s}");
+        assert!(s.contains("3 budget-exhausted"), "{s}");
+        assert!(s.contains("6 replayed from journal"), "{s}");
+        assert!(s.contains("interrupted (best-so-far)"), "{s}");
+    }
+
+    #[test]
+    fn interruption_alone_degrades_the_run() {
+        let h = SearchHealth {
+            interrupted: true,
+            ..SearchHealth::default()
+        };
+        assert!(h.is_degraded());
+        assert!(!SearchHealth::default().is_degraded());
     }
 
     #[test]

@@ -35,6 +35,15 @@
 //! walk at any worker count (see the [`parallel`](parallel_map) module
 //! docs for the argument).
 //!
+//! Searches are governed: a [`SolveBudget`](aved_avail::SolveBudget)
+//! derived from [`SearchOptions`] bounds each candidate's evaluation
+//! (wall-clock timeout, explored-state cap), a whole-search deadline or a
+//! [`CancelToken`](aved_avail::CancelToken) stops the sweep cleanly at the
+//! next candidate boundary with its best-so-far result, and a
+//! [`SweepJournal`] checkpoints every candidate outcome so an interrupted
+//! sweep resumes ([`SearchOptions::with_resume`]) and provably selects the
+//! same winner, bit-for-bit.
+//!
 //! Searches are warm-started by default: candidate batches stay in
 //! enumeration order — parameter-locality order, where neighbors differ in
 //! one knob — and are sharded contiguously across workers, each carrying an
@@ -51,6 +60,7 @@ mod error;
 mod evaluate;
 mod frontier;
 mod health;
+mod journal;
 mod multi_tier;
 mod parallel;
 mod sensitivity;
@@ -70,6 +80,7 @@ pub use frontier::{
     job_frontier, job_frontier_with_health, tier_pareto_frontier, tier_pareto_frontier_with_health,
 };
 pub use health::{SearchHealth, SkippedCandidate};
+pub use journal::{enterprise_key, job_key, JournalReplay, ReplayEntry, SweepJournal};
 pub use multi_tier::{search_service, search_service_with_health, ServiceDesign};
 pub use parallel::{effective_jobs, parallel_map, parallel_map_with};
 pub use sensitivity::{mtbf_sensitivity, scale_mtbfs, SensitivityRow};

@@ -18,23 +18,26 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 
-use aved_avail::EvalSession;
+use aved_avail::{EvalSession, SolveBudget};
 use aved_units::Duration;
 
 use crate::evaluate::{evaluate_enterprise_design_in, evaluate_job_design_in};
 use crate::health::isolate_candidate;
+use crate::journal::{enterprise_key, job_key};
 use crate::parallel::{effective_jobs, parallel_map_with, BestCost};
 use crate::{
     enumerate_tier_candidates, EvalContext, EvaluatedDesign, SearchError, SearchHealth,
     SearchOptions,
 };
 
-/// Builds one fresh evaluation session per worker. When warm starts are
-/// disabled the sessions still exist (the executor needs per-worker
-/// states) but every candidate gets a throwaway session, so nothing is
-/// carried between solves.
-fn worker_sessions(jobs: usize) -> Vec<EvalSession> {
-    (0..jobs.max(1)).map(|_| EvalSession::new()).collect()
+/// Builds one evaluation session per worker, each governed by `budget`.
+/// When warm starts are disabled the sessions still exist (the executor
+/// needs per-worker states) but every candidate gets a throwaway session,
+/// so nothing is carried between solves.
+fn worker_sessions(jobs: usize, budget: &SolveBudget) -> Vec<EvalSession> {
+    (0..jobs.max(1))
+        .map(|_| EvalSession::new().with_budget(budget.clone()))
+        .collect()
 }
 
 /// What happened to one candidate of a level batch, in the worker.
@@ -48,9 +51,39 @@ enum CandidateOutcome {
     /// Skipped because a worker already hit a fatal error; the fold will
     /// surface that error, so this candidate's fate is irrelevant.
     Aborted,
+    /// Skipped without evaluation because the search is stopping — the
+    /// whole-search deadline passed or the cancellation token fired. The
+    /// post-batch check turns this into a clean best-so-far stop.
+    Interrupted,
+    /// Not evaluated: the resume journal already holds this candidate's
+    /// recorded outcome, restored bit-for-bit.
+    Replayed(Result<Option<EvaluatedDesign>, SearchError>),
     /// Evaluated (successfully or not); the fold applies the isolation
     /// policy and the win/tie rules.
     Evaluated(Result<Option<EvaluatedDesign>, SearchError>),
+}
+
+/// Publishes a worker-side result's consequences before the merge fold
+/// sees it: feasible costs go to the shared pruning cell (replayed results
+/// included, so pruning warms up during a resume exactly as it would
+/// live), and fatal — or strict-mode — failures raise the abort flag.
+/// Cancellations never abort: the post-batch check converts them into a
+/// clean best-so-far interruption instead of an error.
+fn classify_result(
+    result: &Result<Option<EvaluatedDesign>, SearchError>,
+    feasible: impl Fn(&EvaluatedDesign) -> bool,
+    options: &SearchOptions,
+    best_cost: &BestCost,
+    abort: &AtomicBool,
+) {
+    match result {
+        Ok(Some(e)) if feasible(e) => best_cost.offer(e.cost()),
+        Err(e) if e.is_cancellation() => {}
+        Err(e) if options.strict || !e.is_candidate_scoped() => {
+            abort.store(true, Ordering::Relaxed);
+        }
+        _ => {}
+    }
 }
 
 /// Counters describing how much work a search did — the basis of the
@@ -163,6 +196,8 @@ pub fn search_tier(
 ) -> Result<SearchOutcome, SearchError> {
     let started = Instant::now();
     let tier = ctx.tier(tier_name)?;
+    let deadline = options.deadline_from(started);
+    let budget = options.eval_budget(deadline);
     let jobs = effective_jobs(options.jobs);
     let mut stats = SearchStats::default();
     let mut health = SearchHealth {
@@ -176,9 +211,9 @@ pub fn search_tier(
     // One warm-start session per worker, reused across every level batch of
     // every option: chain shapes recur between levels (same n/m/s splits
     // with different rates), so the sessions keep paying off search-wide.
-    let mut sessions = worker_sessions(jobs);
+    let mut sessions = worker_sessions(jobs, &budget);
 
-    for option in tier.options() {
+    'options: for option in tier.options() {
         let perf = ctx.catalog().resolve_perf(option.performance())?;
         let Some(min_perf) = perf.min_active_for(load) else {
             continue; // this option can never meet the load
@@ -241,25 +276,29 @@ pub fn search_tier(
                     if abort.load(Ordering::Relaxed) {
                         return CandidateOutcome::Aborted;
                     }
+                    if options.stop_requested(deadline) {
+                        return CandidateOutcome::Interrupted;
+                    }
                     if options.prune && best_cost.beats(cost) {
                         return CandidateOutcome::Pruned;
                     }
-                    let mut cold = EvalSession::new();
+                    if let Some(replay) = &options.resume {
+                        if let Some(entry) = replay.lookup(&enterprise_key(tier_name, load, td)) {
+                            let result = entry.clone().into_result(td);
+                            let ok = |e: &EvaluatedDesign| e.annual_downtime() <= max_downtime;
+                            classify_result(&result, ok, options, &best_cost, &abort);
+                            return CandidateOutcome::Replayed(result);
+                        }
+                    }
+                    let mut cold = EvalSession::new().with_budget(budget.clone());
                     let session = if options.warm_start {
                         session
                     } else {
                         &mut cold
                     };
                     let result = evaluate_enterprise_design_in(ctx, option, td, load, session);
-                    match &result {
-                        Ok(Some(e)) if e.annual_downtime() <= max_downtime => {
-                            best_cost.offer(e.cost());
-                        }
-                        Err(e) if options.strict || !e.is_candidate_scoped() => {
-                            abort.store(true, Ordering::Relaxed);
-                        }
-                        _ => {}
-                    }
+                    let ok = |e: &EvaluatedDesign| e.annual_downtime() <= max_downtime;
+                    classify_result(&result, ok, options, &best_cost, &abort);
                     CandidateOutcome::Evaluated(result)
                 });
             health.solve_time += solving.elapsed();
@@ -269,15 +308,31 @@ pub fn search_tier(
             let merging = Instant::now();
             let mut best_quality_here: Option<Duration> = None;
             for ((_, td), outcome) in costed.iter().zip(outcomes) {
-                let result = match outcome {
-                    CandidateOutcome::Aborted => continue,
+                let (result, replayed) = match outcome {
+                    CandidateOutcome::Aborted | CandidateOutcome::Interrupted => continue,
                     CandidateOutcome::Pruned => {
                         stats.pruned_by_cost += 1;
                         health.candidates_pruned += 1;
                         continue;
                     }
-                    CandidateOutcome::Evaluated(result) => result,
+                    CandidateOutcome::Replayed(result) => (result, true),
+                    CandidateOutcome::Evaluated(result) => (result, false),
                 };
+                // A cancellation is not a candidate outcome: the post-batch
+                // check below turns it into a clean interruption, and it is
+                // never journaled (re-evaluate it on resume).
+                if matches!(&result, Err(e) if e.is_cancellation()) {
+                    continue;
+                }
+                if replayed {
+                    health.journal_replayed += 1;
+                }
+                if matches!(&result, Err(e) if e.is_budget_exhaustion()) {
+                    health.budget_exhausted += 1;
+                }
+                if let Some(journal) = &options.journal {
+                    journal.record(&enterprise_key(tier_name, load, td), &result);
+                }
                 let Some(evaluated) = isolate_candidate(result, options.strict, &mut health, td)?
                 else {
                     continue;
@@ -295,6 +350,15 @@ pub fn search_tier(
                 if wins {
                     best = Some(evaluated);
                 }
+            }
+
+            // Interruption stops the whole search at this batch boundary
+            // with its best-so-far result; partial batch data must not feed
+            // the degradation heuristic below.
+            if options.stop_requested(deadline) {
+                health.merge_time += merging.elapsed();
+                health.interrupted = true;
+                break 'options;
             }
 
             // Infeasibility detection: adding resources no longer improves
@@ -357,6 +421,8 @@ pub fn search_job_tier(
         .ok_or_else(|| SearchError::RequirementMismatch {
             detail: "service declares no jobsize".into(),
         })?;
+    let deadline = options.deadline_from(started);
+    let budget = options.eval_budget(deadline);
     let jobs = effective_jobs(options.jobs);
     let mut stats = SearchStats::default();
     let mut health = SearchHealth {
@@ -365,9 +431,9 @@ pub fn search_job_tier(
     };
     let mut best: Option<EvaluatedDesign> = None;
     let best_cost = BestCost::new();
-    let mut sessions = worker_sessions(jobs);
+    let mut sessions = worker_sessions(jobs, &budget);
 
-    for option in tier.options() {
+    'options: for option in tier.options() {
         let perf = ctx.catalog().resolve_perf(option.performance())?;
         // Failure-free lower bound on throughput demand: finishing a job of
         // `job_size` within T requires throughput >= job_size / T.
@@ -437,28 +503,31 @@ pub fn search_job_tier(
                     if abort.load(Ordering::Relaxed) {
                         return CandidateOutcome::Aborted;
                     }
+                    if options.stop_requested(deadline) {
+                        return CandidateOutcome::Interrupted;
+                    }
                     if options.prune && best_cost.beats(cost) {
                         return CandidateOutcome::Pruned;
                     }
-                    let mut cold = EvalSession::new();
+                    let ok = |e: &EvaluatedDesign| {
+                        e.expected_job_time()
+                            .is_some_and(|t| t <= max_execution_time)
+                    };
+                    if let Some(replay) = &options.resume {
+                        if let Some(entry) = replay.lookup(&job_key(tier_name, td)) {
+                            let result = entry.clone().into_result(td);
+                            classify_result(&result, ok, options, &best_cost, &abort);
+                            return CandidateOutcome::Replayed(result);
+                        }
+                    }
+                    let mut cold = EvalSession::new().with_budget(budget.clone());
                     let session = if options.warm_start {
                         session
                     } else {
                         &mut cold
                     };
                     let result = evaluate_job_design_in(ctx, option, td, session);
-                    match &result {
-                        Ok(Some(e))
-                            if e.expected_job_time()
-                                .is_some_and(|t| t <= max_execution_time) =>
-                        {
-                            best_cost.offer(e.cost());
-                        }
-                        Err(e) if options.strict || !e.is_candidate_scoped() => {
-                            abort.store(true, Ordering::Relaxed);
-                        }
-                        _ => {}
-                    }
+                    classify_result(&result, ok, options, &best_cost, &abort);
                     CandidateOutcome::Evaluated(result)
                 });
             health.solve_time += solving.elapsed();
@@ -466,15 +535,28 @@ pub fn search_job_tier(
             let merging = Instant::now();
             let mut best_quality_here: Option<Duration> = None;
             for ((_, td), outcome) in costed.iter().zip(outcomes) {
-                let result = match outcome {
-                    CandidateOutcome::Aborted => continue,
+                let (result, replayed) = match outcome {
+                    CandidateOutcome::Aborted | CandidateOutcome::Interrupted => continue,
                     CandidateOutcome::Pruned => {
                         stats.pruned_by_cost += 1;
                         health.candidates_pruned += 1;
                         continue;
                     }
-                    CandidateOutcome::Evaluated(result) => result,
+                    CandidateOutcome::Replayed(result) => (result, true),
+                    CandidateOutcome::Evaluated(result) => (result, false),
                 };
+                if matches!(&result, Err(e) if e.is_cancellation()) {
+                    continue;
+                }
+                if replayed {
+                    health.journal_replayed += 1;
+                }
+                if matches!(&result, Err(e) if e.is_budget_exhaustion()) {
+                    health.budget_exhausted += 1;
+                }
+                if let Some(journal) = &options.journal {
+                    journal.record(&job_key(tier_name, td), &result);
+                }
                 let Some(evaluated) = isolate_candidate(result, options.strict, &mut health, td)?
                 else {
                     continue;
@@ -497,6 +579,12 @@ pub fn search_job_tier(
                 if wins {
                     best = Some(evaluated);
                 }
+            }
+
+            if options.stop_requested(deadline) {
+                health.merge_time += merging.elapsed();
+                health.interrupted = true;
+                break 'options;
             }
 
             if best.is_none() {
@@ -979,5 +1067,183 @@ mod tests {
             search_tier(&ctx, "ghost", 1.0, Duration::from_mins(1.0), &opts()),
             Err(SearchError::UnknownTier { .. })
         ));
+    }
+
+    #[test]
+    fn state_cap_exhausts_every_candidate_but_terminates_cleanly() {
+        // A 1-state cap makes every chain exploration blow its budget: the
+        // sweep must terminate with every candidate skipped and the
+        // diagnostics naming the exhausted resource — never hang or panic.
+        let fx = app_tier_fixture();
+        let engine = DecompositionEngine::default();
+        let ctx = fx.context(&engine);
+        let o = opts().with_max_states(1);
+        let out = search_tier(
+            &ctx,
+            "application",
+            400.0,
+            Duration::from_mins(10_000.0),
+            &o,
+        )
+        .unwrap();
+        assert!(out.best().is_none(), "nothing can evaluate under 1 state");
+        let h = out.health();
+        assert!(h.budget_exhausted > 0, "{h}");
+        assert_eq!(
+            h.budget_exhausted,
+            u64::try_from(h.candidates_skipped()).unwrap(),
+            "every skip here is a budget exhaustion"
+        );
+        assert!(
+            h.skipped[0].error.contains("explored-states"),
+            "diagnostic must name the resource: {}",
+            h.skipped[0].error
+        );
+        assert!(!h.interrupted, "exhaustion is per-candidate, not a stop");
+    }
+
+    #[test]
+    fn state_cap_escalates_under_strict() {
+        let fx = app_tier_fixture();
+        let engine = DecompositionEngine::default();
+        let ctx = fx.context(&engine);
+        let o = opts().with_max_states(1).with_strict();
+        let err = search_tier(
+            &ctx,
+            "application",
+            400.0,
+            Duration::from_mins(10_000.0),
+            &o,
+        )
+        .unwrap_err();
+        assert!(err.is_budget_exhaustion(), "{err}");
+        assert!(err.to_string().contains("explored-states"), "{err}");
+    }
+
+    #[test]
+    fn expired_deadline_stops_with_best_so_far() {
+        let fx = app_tier_fixture();
+        let engine = DecompositionEngine::default();
+        let ctx = fx.context(&engine);
+        let o = opts().with_search_deadline(std::time::Duration::ZERO);
+        let out = search_tier(
+            &ctx,
+            "application",
+            400.0,
+            Duration::from_mins(10_000.0),
+            &o,
+        )
+        .unwrap();
+        assert!(out.best().is_none(), "no candidate ran before the deadline");
+        assert_eq!(out.stats().quality_evaluations, 0);
+        assert!(out.health().interrupted);
+        assert!(out.health().is_degraded());
+    }
+
+    #[test]
+    fn cancelled_token_stops_both_search_kinds_cleanly() {
+        let token = aved_avail::CancelToken::new();
+        token.cancel();
+
+        let fx = app_tier_fixture();
+        let engine = DecompositionEngine::default();
+        let ctx = fx.context(&engine);
+        let o = opts().with_cancel(token.clone());
+        let out = search_tier(
+            &ctx,
+            "application",
+            400.0,
+            Duration::from_mins(10_000.0),
+            &o,
+        )
+        .unwrap();
+        assert!(out.best().is_none());
+        assert!(out.health().interrupted);
+        assert!(
+            out.health().skipped.is_empty(),
+            "cancellation is not a candidate failure"
+        );
+
+        // Strict mode must also stop cleanly, not error out.
+        let strict = o.clone().with_strict();
+        let out = search_tier(
+            &ctx,
+            "application",
+            400.0,
+            Duration::from_mins(10_000.0),
+            &strict,
+        )
+        .unwrap();
+        assert!(out.health().interrupted);
+
+        let jfx = job_fixture();
+        let jctx = jfx.context(&engine);
+        let jo = SearchOptions::default().with_cancel(token);
+        let out = search_job_tier(&jctx, "computation", Duration::from_hours(200.0), &jo).unwrap();
+        assert!(out.best().is_none());
+        assert!(out.health().interrupted);
+    }
+
+    #[test]
+    fn journaled_search_resumes_to_the_same_winner() {
+        let fx = app_tier_fixture();
+        let engine = DecompositionEngine::default();
+        let ctx = fx.context(&engine);
+        let load = 800.0;
+        let budget = Duration::from_mins(500.0);
+
+        let baseline = search_tier(&ctx, "application", load, budget, &opts()).unwrap();
+
+        let mut path = std::env::temp_dir();
+        path.push(format!(
+            "aved-tier-search-resume-{}.jsonl",
+            std::process::id()
+        ));
+        let journal = std::sync::Arc::new(crate::SweepJournal::create(&path).unwrap());
+        let journaled = search_tier(
+            &ctx,
+            "application",
+            load,
+            budget,
+            &opts().with_journal(journal.clone()),
+        )
+        .unwrap();
+        journal.flush().unwrap();
+        drop(journal);
+
+        let replay = std::sync::Arc::new(crate::JournalReplay::load(&path).unwrap());
+        assert!(!replay.is_empty());
+        let resumed = search_tier(
+            &ctx,
+            "application",
+            load,
+            budget,
+            &opts().with_resume(replay),
+        )
+        .unwrap();
+        std::fs::remove_file(&path).ok();
+
+        let (b, j, r) = (
+            baseline.best().unwrap(),
+            journaled.best().unwrap(),
+            resumed.best().unwrap(),
+        );
+        assert_eq!(
+            b.design(),
+            j.design(),
+            "journaling must not change the winner"
+        );
+        assert_eq!(b.design(), r.design(), "resume must reproduce the winner");
+        assert_eq!(b.cost().dollars().to_bits(), r.cost().dollars().to_bits());
+        assert_eq!(
+            b.annual_downtime().minutes().to_bits(),
+            r.annual_downtime().minutes().to_bits(),
+            "replayed metrics must be bit-identical, not just close"
+        );
+        assert!(
+            resumed.health().journal_replayed > 0,
+            "{}",
+            resumed.health()
+        );
     }
 }

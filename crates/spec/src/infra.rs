@@ -281,6 +281,13 @@ fn apply_component_cost(
     }
 }
 
+/// The most values a geometric range may enumerate. The search walks the
+/// cross product of every parameter's values, so a spec like
+/// `[1s-36500d;*1.0001]` (hundreds of thousands of settings in one knob)
+/// is a state-space bomb; reject it at parse time with the arithmetic
+/// spelled out instead of letting the sweep absorb it.
+pub const MAX_GEOMETRIC_RANGE_VALUES: usize = 10_000;
+
 /// Parses `[bronze,silver,gold]` or `[1m-24h;*1.05]`.
 pub(crate) fn parse_param_range(number: usize, body: &str) -> Result<ParamRange, SpecError> {
     if let Some((span, step)) = body.split_once(';') {
@@ -294,14 +301,28 @@ pub(crate) fn parse_param_range(number: usize, body: &str) -> Result<ParamRange,
         let factor: f64 = factor_str
             .parse()
             .map_err(|_| value_err(number, "geometric range factor must be a number"))?;
-        if factor <= 1.0 {
+        if !factor.is_finite() || factor <= 1.0 {
             return Err(value_err(number, "geometric range factor must exceed 1"));
         }
-        Ok(ParamRange::GeometricDuration {
-            min: duration(number, lo.trim())?,
-            max: duration(number, hi.trim())?,
-            factor,
-        })
+        let min = duration(number, lo.trim())?;
+        let max = duration(number, hi.trim())?;
+        if min.seconds() <= 0.0 {
+            return Err(value_err(number, "geometric range min must be positive"));
+        }
+        if max < min {
+            return Err(value_err(number, "geometric range needs min <= max"));
+        }
+        let count = (max.seconds() / min.seconds()).ln() / factor.ln() + 1.0;
+        if count > MAX_GEOMETRIC_RANGE_VALUES as f64 {
+            return Err(value_err(
+                number,
+                &format!(
+                    "geometric range enumerates ~{count:.0} values \
+                     (cap {MAX_GEOMETRIC_RANGE_VALUES}); raise the factor or narrow the span"
+                ),
+            ));
+        }
+        Ok(ParamRange::GeometricDuration { min, max, factor })
     } else {
         let levels: Vec<String> = body
             .split(|c: char| c == ',' || c.is_whitespace())
@@ -495,6 +516,25 @@ component=machineA cost=0
         assert!(matches!(err.kind(), SpecErrorKind::Value(_)));
         assert!(parse_param_range(1, "1m-24h;+5").is_err());
         assert!(parse_param_range(1, "1m;*1.05").is_err());
+        assert!(parse_param_range(1, "1m-24h;*inf").is_err());
+    }
+
+    #[test]
+    fn degenerate_geometric_bounds_are_errors() {
+        let zero_min = parse_param_range(1, "0s-24h;*1.05").unwrap_err();
+        assert!(zero_min.to_string().contains("positive"), "{zero_min}");
+        let inverted = parse_param_range(1, "24h-1m;*1.05").unwrap_err();
+        assert!(inverted.to_string().contains("min <= max"), "{inverted}");
+    }
+
+    #[test]
+    fn state_space_bomb_ranges_are_capped_at_parse_time() {
+        // ~220k values: fine-grained factor over a ten-decade span.
+        let err = parse_param_range(1, "1s-36500d;*1.0001").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("cap 10000"), "{msg}");
+        // The paper's own range (~150 values) stays well under the cap.
+        assert!(parse_param_range(1, "1m-24h;*1.05").is_ok());
     }
 
     #[test]

@@ -58,7 +58,7 @@ mod service;
 mod write;
 
 pub use error::{SpecError, SpecErrorKind};
-pub use infra::parse_infrastructure;
+pub use infra::{parse_infrastructure, MAX_GEOMETRIC_RANGE_VALUES};
 pub use lex::{lex_document, Attr, Line, Value};
 pub use requirements::{parse_requirement, write_requirement};
 pub use service::parse_services;
